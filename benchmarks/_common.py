@@ -1,0 +1,64 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates the rows/series of one paper artifact (a table or
+figure) on a *scaled* configuration — a representative number of identical
+transformer layers on the IPU-POD4-like system — prints them, and writes them
+to ``results/``.  Set ``REPRO_BENCH_FULL=1`` to run the full grids (closer to
+the paper's sweep sizes; substantially slower).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.eval import ExperimentConfig
+from repro.eval.reporting import format_table, save_results
+
+#: Directory where benchmark tables are persisted.
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results")
+
+#: Whether to run the full (paper-sized) grids.
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Scaled configuration used by default in every benchmark.
+BENCH_CONFIG = ExperimentConfig(
+    num_layers=2 if not FULL else 4,
+    batch_size=32,
+    seq_len=2048,
+    use_simulator=True,
+    max_preload_ahead=12,
+    max_order_candidates=16 if not FULL else 64,
+)
+
+
+def report(name: str, title: str, rows, columns=None) -> str:
+    """Print and persist one benchmark's result rows."""
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    text = save_results(rows, path, title=title, columns=columns)
+    print(f"\n{text}")
+    print(f"[saved to {path}]")
+    return text
+
+
+def summarize_speedups(rows) -> dict[str, float]:
+    """Geometric-mean speedup of elk-full over the other designs."""
+    from collections import defaultdict
+
+    from repro.eval.reporting import geometric_mean
+
+    by_workload = defaultdict(dict)
+    for row in rows:
+        if "latency_ms" not in row:
+            continue
+        key = (row.get("model"), row.get("batch_size"), row.get("seq_len"),
+               row.get("topology"), row.get("hbm_bandwidth_TBps"))
+        by_workload[key][row["policy"]] = row["latency_ms"]
+    speedups = defaultdict(list)
+    for latencies in by_workload.values():
+        if "elk-full" not in latencies:
+            continue
+        for policy, latency in latencies.items():
+            if policy == "elk-full":
+                continue
+            speedups[policy].append(latency / latencies["elk-full"])
+    return {policy: geometric_mean(values) for policy, values in speedups.items()}

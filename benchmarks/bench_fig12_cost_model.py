@@ -1,0 +1,21 @@
+"""Figure 12: accuracy of the fitted (linear-tree) cost model."""
+
+from _common import report
+
+from repro.eval import cost_model_accuracy
+
+
+def _rows():
+    return cost_model_accuracy(samples_per_op=120, seed=7)
+
+
+def test_fig12_cost_model_accuracy(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    report(
+        "fig12_cost_model",
+        "Fig. 12: predicted vs measured per-core execution / transfer times",
+        rows,
+    )
+    for row in rows:
+        assert row["r_squared"] > 0.7, row
+        assert row["mape_percent"] < 40.0, row

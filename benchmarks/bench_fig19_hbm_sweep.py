@@ -1,0 +1,43 @@
+"""Figure 19: per-token latency at varied HBM bandwidths on both topologies."""
+
+from _common import BENCH_CONFIG, FULL, report
+
+from repro.eval import hbm_bandwidth_sweep
+from repro.units import TB
+
+
+def _rows():
+    models = ("llama2-13b", "llama2-70b") if not FULL else None
+    bandwidths = (4 * TB, 8 * TB, 16 * TB) if not FULL else (4 * TB, 8 * TB, 12 * TB, 16 * TB)
+    kwargs = {"hbm_bandwidths": bandwidths, "config": BENCH_CONFIG}
+    if models:
+        kwargs["models"] = models
+    return hbm_bandwidth_sweep(**kwargs)
+
+
+def test_fig19_hbm_bandwidth_sweep(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    report(
+        "fig19_hbm_sweep",
+        "Fig. 19: per-token latency vs HBM bandwidth (all-to-all and mesh)",
+        rows,
+        columns=[
+            "model", "topology", "hbm_bandwidth_TBps", "policy",
+            "latency_ms", "hbm_utilization", "noc_utilization",
+        ],
+    )
+    # Trend check: for Elk-Full, more HBM bandwidth never hurts, and the
+    # benefit of the last doubling is smaller than the first (diminishing returns).
+    by_key: dict[tuple, list[dict]] = {}
+    for row in rows:
+        if row["policy"] != "elk-full" or "latency_ms" not in row:
+            continue
+        by_key.setdefault((row["model"], row["topology"]), []).append(row)
+    for series in by_key.values():
+        series.sort(key=lambda r: r["hbm_bandwidth_TBps"])
+        latencies = [r["latency_ms"] for r in series]
+        assert latencies[-1] <= latencies[0] * 1.001
+        if len(latencies) >= 3:
+            first_gain = latencies[0] / latencies[1]
+            last_gain = latencies[-2] / latencies[-1]
+            assert last_gain <= first_gain + 0.25

@@ -1,0 +1,37 @@
+"""Figure 23: per-token latency at varied core counts (plus DiT-XL)."""
+
+from _common import BENCH_CONFIG, FULL, report
+
+from repro.eval import core_count_sweep
+
+
+def _rows():
+    models = ("llama2-13b", "llama2-70b", "dit-xl") if not FULL else None
+    counts = (736, 1472) if not FULL else (736, 1104, 1472)
+    kwargs = {"core_counts": counts, "config": BENCH_CONFIG}
+    if models:
+        kwargs["models"] = models
+    return core_count_sweep(**kwargs)
+
+
+def test_fig23_core_count_sweep(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    report(
+        "fig23_core_sweep",
+        "Fig. 23: per-token latency vs core count (HBM at 2.7 GB/s per core)",
+        rows,
+        columns=[
+            "model", "cores_per_chip", "total_cores", "policy",
+            "latency_ms", "hbm_utilization", "achieved_tflops",
+        ],
+    )
+    # Performance scales with the chip: more cores (and proportional HBM)
+    # never slows Elk-Full down.
+    series: dict[str, list[dict]] = {}
+    for row in rows:
+        if row["policy"] != "elk-full" or "latency_ms" not in row:
+            continue
+        series.setdefault(row["model"], []).append(row)
+    for model, points in series.items():
+        points.sort(key=lambda r: r["total_cores"])
+        assert points[-1]["latency_ms"] <= points[0]["latency_ms"] * 1.05, model

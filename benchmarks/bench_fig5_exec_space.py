@@ -1,0 +1,36 @@
+"""Figure 5: execution time vs per-core execution space for representative operators."""
+
+from _common import BENCH_CONFIG, report
+
+from repro.eval import execution_space_profile
+
+
+def _rows():
+    return execution_space_profile(config=BENCH_CONFIG)
+
+
+def test_fig5_execution_space_tradeoff(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    report(
+        "fig5_exec_space",
+        "Fig. 5: execution time vs execution space (Pareto points per operator)",
+        rows,
+        columns=["model", "operator", "exec_space_KB", "exec_time_us"],
+    )
+    assert rows
+    # The headline insight: for every operator with a real trade-off, the
+    # fastest plan uses at least as much memory as the slowest plan.
+    from collections import defaultdict
+
+    by_op = defaultdict(list)
+    for row in rows:
+        by_op[(row["model"], row["op_name"])].append(row)
+    multi = 0
+    for points in by_op.values():
+        if len(points) < 2:
+            continue
+        multi += 1
+        fastest = min(points, key=lambda r: r["exec_time_us"])
+        slowest = max(points, key=lambda r: r["exec_time_us"])
+        assert fastest["exec_space_KB"] >= slowest["exec_space_KB"]
+    assert multi >= 3, "expected several operators with a memory/time trade-off"

@@ -1,0 +1,35 @@
+"""Figure 6: HBM bandwidth demand over time for different preload-space sizes."""
+
+from _common import BENCH_CONFIG, report
+
+from repro.eval import preload_space_hbm_demand
+
+
+def _rows():
+    return preload_space_hbm_demand(config=BENCH_CONFIG)
+
+
+def test_fig6_hbm_demand_vs_preload_space(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    report(
+        "fig6_hbm_demand",
+        "Fig. 6: HBM bandwidth demand vs per-core preload space",
+        rows,
+    )
+    assert rows
+    # Structural checks: demand never exceeds the chip's HBM bandwidth, and for
+    # most models the larger preload space smooths the demand (lower
+    # coefficient of variation) — the paper's motivation for preloading more
+    # operators ahead.
+    from collections import defaultdict
+
+    by_model = defaultdict(list)
+    for row in rows:
+        assert row["peak_demand_TBps"] <= 4.2  # one chip's HBM roofline
+        by_model[row["model"]].append(row)
+    smoother = 0
+    for model_rows in by_model.values():
+        model_rows.sort(key=lambda r: r["preload_space_KB"])
+        if model_rows[-1]["demand_cv"] <= model_rows[0]["demand_cv"] + 1e-9:
+            smoother += 1
+    assert smoother >= (len(by_model) + 1) // 2

@@ -1,0 +1,29 @@
+"""Figures 7/8: inter-core and total NoC bandwidth demand, MinPreload vs MaxPreload."""
+
+from _common import BENCH_CONFIG, report
+
+from repro.eval import min_max_preload_demand
+
+
+def _rows():
+    return min_max_preload_demand(config=BENCH_CONFIG)
+
+
+def test_fig7_fig8_min_vs_max_preload(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    report(
+        "fig7_fig8_intercore_demand",
+        "Figs. 7/8: inter-core and total NoC bandwidth demand (MinPreload vs MaxPreload)",
+        rows,
+    )
+    by_model = {}
+    for row in rows:
+        by_model.setdefault(row["model"], {})[row["mode"]] = row
+    for model, modes in by_model.items():
+        assert {"MinPreload", "MaxPreload"} <= set(modes)
+        # MaxPreload moves shared data at preload time, so execution-time
+        # inter-core traffic drops (Fig. 7).
+        assert (
+            modes["MaxPreload"]["intercore_mean_GBps"]
+            <= modes["MinPreload"]["intercore_mean_GBps"] + 1e-9
+        ), model

@@ -1,0 +1,20 @@
+"""Table 2: model / search-space statistics (C, H, P, K, N) for every model."""
+
+from _common import BENCH_CONFIG, report
+
+from repro.eval import model_stats_table
+
+
+def _rows():
+    return model_stats_table(config=BENCH_CONFIG)
+
+
+def test_table2_model_stats(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    report("table2_model_stats", "Table 2: search-space factors per model", rows)
+    assert len(rows) == 5
+    for row in rows:
+        assert row["P_max_plans"] >= 1
+        assert row["K_ops_on_chip"] >= 1
+        # H <= 6 for transformer models (paper's observation).
+        assert row["H_heavy_per_layer"] <= 8

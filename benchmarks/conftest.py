@@ -1,0 +1,7 @@
+"""Benchmark harness configuration: make sure results are visible."""
+
+import sys
+import os
+
+# Allow ``import _common`` from within the benchmarks directory.
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Design-space exploration of ICCA chips with Elk (§6.4).
+
+Uses the DSE explorer to sweep (1) HBM bandwidth, (2) interconnect bandwidth,
+and (3) the network topology for an LLM decoding workload, and prints which
+resource bounds each design point — reproducing the paper's §6.4 insights:
+HBM bandwidth helps decode until the interconnect becomes the bottleneck, and
+the two must scale together.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.arch.interconnect import ALL_TO_ALL, MESH_2D
+from repro.compiler import WorkloadSpec
+from repro.dse import DesignPoint, DesignSpaceExplorer
+from repro.eval import ExperimentConfig
+from repro.units import TB
+
+
+def main() -> None:
+    workload = WorkloadSpec("llama2-13b", batch_size=32, seq_len=2048, num_layers=2)
+    config = ExperimentConfig(num_layers=2, policies=("elk-full",), max_order_candidates=8)
+    explorer = DesignSpaceExplorer(workload, config)
+
+    print("== Insight 1: HBM bandwidth sweep (all-to-all NoC) ==")
+    hbm_points = [DesignPoint(hbm_bandwidth=bw) for bw in (4 * TB, 8 * TB, 16 * TB, 32 * TB)]
+    hbm_results = explorer.sweep(hbm_points)
+    for result in hbm_results:
+        print(
+            f"  HBM {result.point.hbm_bandwidth / 1e12:5.1f} TB/s -> "
+            f"latency {result.latency * 1e3:6.3f} ms, "
+            f"HBM util {result.hbm_utilization:.2f}, NoC util {result.noc_utilization:.2f}, "
+            f"bottleneck: {result.bottleneck}"
+        )
+    print(f"  diminishing returns observed: {DesignSpaceExplorer.diminishing_returns(hbm_results)}")
+
+    print("\n== Insight 2: interconnect and HBM bandwidth must scale together ==")
+    for noc in (24 * TB, 48 * TB):
+        for hbm in (8 * TB, 16 * TB):
+            result = explorer.evaluate_point(
+                DesignPoint(hbm_bandwidth=hbm, noc_bandwidth=noc)
+            )
+            print(
+                f"  NoC {noc / 1e12:5.1f} TB/s, HBM {hbm / 1e12:5.1f} TB/s -> "
+                f"latency {result.latency * 1e3:6.3f} ms ({result.bottleneck}-bound)"
+            )
+
+    print("\n== Topology comparison at 16 TB/s HBM ==")
+    for topology in (ALL_TO_ALL, MESH_2D):
+        result = explorer.evaluate_point(DesignPoint(topology=topology))
+        print(
+            f"  {topology:10s}: latency {result.latency * 1e3:6.3f} ms, "
+            f"NoC util {result.noc_utilization:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

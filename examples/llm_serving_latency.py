@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""LLM serving: compare the designs across models and batch sizes (Fig. 17 style).
+
+Compiles two representative decoder layers of each LLM from the paper's
+evaluation (Llama2-13B, Gemma2-27B, OPT-30B, Llama2-70B) for the IPU-POD4-like
+system at several batch sizes, evaluates every design with the event-driven
+simulator, and prints the per-token latency table plus Elk-Full's speedups.
+
+Run with::
+
+    python examples/llm_serving_latency.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.eval import ExperimentConfig, end_to_end_latency, format_table, geometric_mean
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        num_layers=2,
+        max_order_candidates=12,
+        policies=("basic", "static", "elk-dyn", "elk-full", "ideal"),
+    )
+    rows = end_to_end_latency(
+        models=("llama2-13b", "gemma2-27b", "opt-30b", "llama2-70b"),
+        batch_sizes=(16, 32),
+        seq_lens=(2048,),
+        config=config,
+    )
+    print(format_table(
+        rows,
+        columns=["model", "batch_size", "seq_len", "policy", "latency_ms",
+                 "hbm_utilization", "noc_utilization", "achieved_tflops"],
+    ))
+
+    # Summarize Elk-Full against every other design.
+    latencies: dict[tuple, dict[str, float]] = defaultdict(dict)
+    for row in rows:
+        if "latency_ms" in row:
+            latencies[(row["model"], row["batch_size"])][row["policy"]] = row["latency_ms"]
+    print("\nElk-Full speedups (geometric mean across workloads):")
+    for policy in ("basic", "static", "elk-dyn"):
+        ratios = [
+            values[policy] / values["elk-full"]
+            for values in latencies.values()
+            if policy in values and "elk-full" in values
+        ]
+        print(f"  vs {policy:8s}: {geometric_mean(ratios):.2f}x")
+    fractions = [
+        values["ideal"] / values["elk-full"]
+        for values in latencies.values()
+        if "ideal" in values and "elk-full" in values
+    ]
+    print(f"  fraction of the Ideal roofline: {geometric_mean(fractions) * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Setup shim for legacy editable installs (``pip install -e . --no-use-pep517``).
+
+The canonical metadata lives in ``pyproject.toml``; this file only exists so
+environments with an older setuptools (without ``bdist_wheel`` / PEP 660
+editable support) can still do an editable install.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "networkx>=3.0"],
+)

@@ -1,0 +1,72 @@
+"""Elk reproduction: a DL compiler framework for inter-core connected AI chips.
+
+This package reproduces *Elk: Exploring the Efficiency of Inter-core Connected
+AI Chips with Deep Learning Compiler Techniques* (MICRO 2025) as a pure-Python
+library: the operator IR and model zoo, ICCA chip architecture models, operator
+partitioning, cost models, the Elk scheduler (inductive operator scheduling,
+cost-aware memory allocation, preload-order permutation), the baseline
+compilers, an event-driven chip simulator, an emulation framework, code
+generation to the abstract device programming model, and the evaluation /
+design-space-exploration harness behind every table and figure of the paper.
+
+Quickstart::
+
+    from repro import WorkloadSpec, ModelCompiler, ipu_pod4
+
+    compiler = ModelCompiler(WorkloadSpec("llama2-13b", batch_size=32,
+                                          seq_len=2048, num_layers=2),
+                             ipu_pod4())
+    result = compiler.compile("elk-full")
+    print(result.latency, result.hbm_utilization)
+"""
+
+from repro.arch import (
+    ChipConfig,
+    CoreConfig,
+    HBMConfig,
+    InterconnectConfig,
+    SystemConfig,
+    ipu_mk2_chip,
+    ipu_pod4,
+    mesh_pod4,
+    scaled_system,
+    single_chip,
+)
+from repro.compiler import POLICIES, CompileResult, ModelCompiler, WorkloadSpec, compile_model
+from repro.errors import ElkError
+from repro.ir import Operator, OperatorGraph, TensorSpec
+from repro.ir.models import available_models, build_model
+from repro.scheduler import ElkOptions, ElkScheduler, ExecutionPlan
+from repro.sim import ChipSimulator, simulate_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChipConfig",
+    "CoreConfig",
+    "HBMConfig",
+    "InterconnectConfig",
+    "SystemConfig",
+    "ipu_mk2_chip",
+    "ipu_pod4",
+    "mesh_pod4",
+    "scaled_system",
+    "single_chip",
+    "POLICIES",
+    "CompileResult",
+    "ModelCompiler",
+    "WorkloadSpec",
+    "compile_model",
+    "ElkError",
+    "Operator",
+    "OperatorGraph",
+    "TensorSpec",
+    "available_models",
+    "build_model",
+    "ElkOptions",
+    "ElkScheduler",
+    "ExecutionPlan",
+    "ChipSimulator",
+    "simulate_system",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Architecture models of ICCA chips, their interconnects, HBM, and systems."""
+
+from repro.arch.chip import ChipConfig, SystemConfig
+from repro.arch.core import IPU_MK2_CORE, CoreConfig
+from repro.arch.hbm import HBM3E_X4, NO_HBM, HBMConfig
+from repro.arch.interconnect import ALL_TO_ALL, MESH_2D, TOPOLOGIES, InterconnectConfig
+from repro.arch.presets import (
+    ipu_mk2_chip,
+    ipu_pod4,
+    mesh_pod4,
+    scaled_chip,
+    scaled_system,
+    single_chip,
+)
+
+__all__ = [
+    "ChipConfig",
+    "SystemConfig",
+    "CoreConfig",
+    "IPU_MK2_CORE",
+    "HBMConfig",
+    "HBM3E_X4",
+    "NO_HBM",
+    "InterconnectConfig",
+    "ALL_TO_ALL",
+    "MESH_2D",
+    "TOPOLOGIES",
+    "ipu_mk2_chip",
+    "ipu_pod4",
+    "mesh_pod4",
+    "scaled_chip",
+    "scaled_system",
+    "single_chip",
+]

@@ -1,0 +1,73 @@
+"""Off-chip HBM configuration.
+
+The paper attaches HBM3E modules to the on-chip interconnect through HBM
+controllers (Fig. 1) and evaluates 4 modules per chip, i.e. 16 TB/s of total
+HBM bandwidth across an IPU-POD4-like 4-chip system (§6.1).  The
+:class:`HBMConfig` here describes capacity and sustained bandwidth; detailed
+bank/row timing lives in :mod:`repro.dram`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ArchitectureError
+from repro.units import GB, GiB, TB
+
+
+@dataclass(frozen=True)
+class HBMConfig:
+    """Configuration of one chip's off-chip HBM subsystem.
+
+    Attributes:
+        num_modules: Number of HBM stacks (each with its own controller).
+        bandwidth_per_module: Sustained bandwidth of one stack, bytes/s.
+        capacity_per_module: Capacity of one stack, bytes.
+        access_latency: Base (closed-row) access latency, seconds.
+        controller_queue_depth: Outstanding tensor-load requests a controller
+            coalesces; only affects the event-driven simulator.
+    """
+
+    num_modules: int = 4
+    bandwidth_per_module: float = 1.0 * TB
+    capacity_per_module: int = 24 * GiB
+    access_latency: float = 450e-9
+    controller_queue_depth: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_modules <= 0:
+            raise ArchitectureError("HBM needs at least one module")
+        if self.bandwidth_per_module <= 0 or self.capacity_per_module <= 0:
+            raise ArchitectureError("HBM bandwidth and capacity must be positive")
+        if self.access_latency < 0:
+            raise ArchitectureError("HBM access latency must be non-negative")
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Aggregate sustained bandwidth of the chip's HBM, bytes/s."""
+        return self.num_modules * self.bandwidth_per_module
+
+    @property
+    def total_capacity(self) -> int:
+        """Aggregate HBM capacity of the chip, bytes."""
+        return self.num_modules * self.capacity_per_module
+
+    def with_total_bandwidth(self, total_bandwidth: float) -> "HBMConfig":
+        """Return a copy whose aggregate bandwidth equals ``total_bandwidth``.
+
+        Used by the HBM-bandwidth sweeps of Figs. 19-22.
+        """
+        if total_bandwidth <= 0:
+            raise ArchitectureError("total HBM bandwidth must be positive")
+        return replace(
+            self, bandwidth_per_module=total_bandwidth / self.num_modules
+        )
+
+
+#: One HBM3E stack per controller, four controllers per chip (≈4 TB/s/chip).
+HBM3E_X4 = HBMConfig()
+
+#: A no-HBM placeholder used when modelling a chip that serves purely on-chip.
+NO_HBM = HBMConfig(
+    num_modules=1, bandwidth_per_module=1.0, capacity_per_module=1, access_latency=0.0
+)

@@ -1,0 +1,117 @@
+"""On-chip interconnect topologies.
+
+Elk targets the two topologies used by today's ICCA chips (§5): an
+*all-to-all* exchange (Graphcore IPU) where every core reaches every other
+core at its full port bandwidth, and a *2-D mesh* (SambaNova, Tenstorrent)
+where traffic takes multiple hops and each core talks to up to four
+neighbours simultaneously.  HBM controllers are attached as dedicated nodes
+(all-to-all) or along the mesh edges (mesh).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ArchitectureError
+from repro.units import GB
+
+ALL_TO_ALL = "all_to_all"
+MESH_2D = "mesh_2d"
+TOPOLOGIES = (ALL_TO_ALL, MESH_2D)
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """Configuration of the on-chip network.
+
+    Attributes:
+        topology: ``"all_to_all"`` or ``"mesh_2d"``.
+        link_bandwidth: Bandwidth of one link (a core port for all-to-all, a
+            mesh edge for the mesh), bytes/s.
+        link_latency: Per-hop latency in seconds.
+        mesh_rows: Rows of the mesh grid (mesh only; 0 means "derive square").
+        mesh_cols: Columns of the mesh grid (mesh only; 0 means "derive square").
+    """
+
+    topology: str = ALL_TO_ALL
+    link_bandwidth: float = 5.5 * GB
+    link_latency: float = 300e-9
+    mesh_rows: int = 0
+    mesh_cols: int = 0
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ArchitectureError(
+                f"unknown topology {self.topology!r}; expected one of {TOPOLOGIES}"
+            )
+        if self.link_bandwidth <= 0 or self.link_latency < 0:
+            raise ArchitectureError("link bandwidth must be positive, latency >= 0")
+
+    @property
+    def is_mesh(self) -> bool:
+        """Whether the topology is a mesh."""
+        return self.topology == MESH_2D
+
+    def grid_shape(self, num_cores: int) -> tuple[int, int]:
+        """Resolve the mesh grid dimensions for a given core count.
+
+        For the all-to-all topology this returns ``(1, num_cores)`` which is
+        only used for reporting.  For meshes with unspecified dimensions a
+        near-square factorization is chosen.
+        """
+        if num_cores <= 0:
+            raise ArchitectureError("num_cores must be positive")
+        if not self.is_mesh:
+            return (1, num_cores)
+        rows, cols = self.mesh_rows, self.mesh_cols
+        if rows and cols:
+            if rows * cols != num_cores:
+                raise ArchitectureError(
+                    f"mesh {rows}x{cols} does not cover {num_cores} cores"
+                )
+            return (rows, cols)
+        root = int(math.isqrt(num_cores))
+        for rows in range(root, 0, -1):
+            if num_cores % rows == 0:
+                return (rows, num_cores // rows)
+        return (1, num_cores)
+
+    def aggregate_bandwidth(self, num_cores: int) -> float:
+        """Aggregate interconnect bandwidth in bytes/s.
+
+        All-to-all: every core port can be busy simultaneously
+        (``num_cores × link_bandwidth``, ≈8 TB/s on the IPU).  Mesh: every
+        directed edge of the grid can be busy (bisection-style aggregate).
+        """
+        if not self.is_mesh:
+            return num_cores * self.link_bandwidth
+        rows, cols = self.grid_shape(num_cores)
+        horizontal = rows * (cols - 1)
+        vertical = cols * (rows - 1)
+        num_links = 2 * (horizontal + vertical)  # two directions per edge
+        return num_links * self.link_bandwidth
+
+    def average_hops(self, num_cores: int) -> float:
+        """Average hop count between two random nodes.
+
+        1 for all-to-all; the standard ``(rows + cols) / 3`` estimate for a
+        2-D mesh, used by the analytic transfer cost model for pre-simulation
+        estimates (the event-driven simulator routes each transfer exactly).
+        """
+        if not self.is_mesh:
+            return 1.0
+        rows, cols = self.grid_shape(num_cores)
+        return max(1.0, (rows + cols) / 3.0)
+
+    def scaled_bandwidth(self, factor: float) -> "InterconnectConfig":
+        """Return a copy with the per-link bandwidth scaled by ``factor``."""
+        if factor <= 0:
+            raise ArchitectureError("bandwidth scale factor must be positive")
+        return InterconnectConfig(
+            topology=self.topology,
+            link_bandwidth=self.link_bandwidth * factor,
+            link_latency=self.link_latency,
+            mesh_rows=self.mesh_rows,
+            mesh_cols=self.mesh_cols,
+        )

@@ -1,0 +1,97 @@
+"""Named architecture presets.
+
+``ipu_pod4()`` reproduces the paper's default evaluation platform: four
+IPU-MK2-like chips, four HBM3E stacks per chip (16 TB/s total), an all-to-all
+on-chip network and 640 GB/s inter-chip bandwidth.  ``mesh_pod4()`` is the
+same system with a 2-D mesh NoC.  The ``scaled_*`` presets shrink the core
+count (keeping per-core parameters identical) so the full pipeline — compile,
+simulate, report — runs in seconds for tests and examples; experiments state
+explicitly which preset they use.
+"""
+
+from __future__ import annotations
+
+from repro.arch.chip import ChipConfig, SystemConfig
+from repro.arch.core import IPU_MK2_CORE, CoreConfig
+from repro.arch.hbm import HBM3E_X4, HBMConfig
+from repro.arch.interconnect import ALL_TO_ALL, MESH_2D, InterconnectConfig
+from repro.units import GB, TB
+
+
+def ipu_mk2_chip(topology: str = ALL_TO_ALL, num_cores: int = 1472) -> ChipConfig:
+    """An IPU-MK2-like chip with HBM attached (the paper's emulated chip)."""
+    interconnect = InterconnectConfig(
+        topology=topology,
+        link_bandwidth=IPU_MK2_CORE.link_bandwidth,
+        link_latency=IPU_MK2_CORE.link_latency,
+    )
+    return ChipConfig(
+        name=f"ipu-mk2-{topology}",
+        num_cores=num_cores,
+        core=IPU_MK2_CORE,
+        interconnect=interconnect,
+        hbm=HBM3E_X4,
+    )
+
+
+def ipu_pod4(topology: str = ALL_TO_ALL, hbm_total_bandwidth: float = 16 * TB) -> SystemConfig:
+    """The paper's default platform: 4 chips, 16 TB/s total HBM, all-to-all NoC."""
+    system = SystemConfig(
+        name=f"ipu-pod4-{topology}",
+        chip=ipu_mk2_chip(topology=topology),
+        num_chips=4,
+        inter_chip_bandwidth=640 * GB,
+    )
+    return system.with_total_hbm_bandwidth(hbm_total_bandwidth)
+
+
+def mesh_pod4(hbm_total_bandwidth: float = 16 * TB) -> SystemConfig:
+    """The same 4-chip system with a 2-D mesh on-chip network (Figs. 19-22)."""
+    return ipu_pod4(topology=MESH_2D, hbm_total_bandwidth=hbm_total_bandwidth)
+
+
+def single_chip(topology: str = ALL_TO_ALL, num_cores: int = 1472) -> SystemConfig:
+    """A single ICCA chip with 4 TB/s HBM (Fig. 23 DiT-XL experiments)."""
+    return SystemConfig(
+        name=f"icca-1chip-{topology}",
+        chip=ipu_mk2_chip(topology=topology, num_cores=num_cores),
+        num_chips=1,
+    )
+
+
+def scaled_chip(
+    num_cores: int = 64,
+    topology: str = ALL_TO_ALL,
+    hbm_bandwidth: float | None = None,
+) -> ChipConfig:
+    """A laptop-scale chip: identical per-core parameters, fewer cores.
+
+    HBM bandwidth defaults to the paper's per-core ratio (≈2.7 GB/s per core,
+    §6.4) so the compute/communication/I/O balance — and therefore which
+    design wins and by how much — is preserved.
+    """
+    per_core_hbm = 2.7 * GB
+    total_hbm = hbm_bandwidth if hbm_bandwidth is not None else per_core_hbm * num_cores
+    chip = ipu_mk2_chip(topology=topology, num_cores=num_cores)
+    return ChipConfig(
+        name=f"scaled-{topology}-{num_cores}",
+        num_cores=num_cores,
+        core=chip.core,
+        interconnect=chip.interconnect,
+        hbm=HBMConfig(num_modules=2).with_total_bandwidth(total_hbm),
+    )
+
+
+def scaled_system(
+    num_cores: int = 64,
+    num_chips: int = 1,
+    topology: str = ALL_TO_ALL,
+    hbm_bandwidth: float | None = None,
+) -> SystemConfig:
+    """A laptop-scale system used by tests, examples, and CI benchmark runs."""
+    return SystemConfig(
+        name=f"scaled-{topology}-{num_chips}x{num_cores}",
+        chip=scaled_chip(num_cores=num_cores, topology=topology, hbm_bandwidth=hbm_bandwidth),
+        num_chips=num_chips,
+        inter_chip_bandwidth=640 * GB,
+    )

@@ -1,0 +1,93 @@
+"""The ``Basic`` baseline compiler (§6.1).
+
+Basic follows conventional DL compilers that only optimize on-chip execution:
+every operator uses its fastest partition plan (maximizing the execution
+space), and whatever SRAM is left over is used to preload just the *next*
+operator.  There is no memory-allocation trade-off, no multi-operator preload,
+and no reordering.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cost.model import CostModel
+from repro.scheduler.plan import ExecutionPlan, make_schedule
+from repro.scheduler.profiles import OperatorProfile, PreloadOption
+
+
+class BasicCompiler:
+    """Builds a Basic execution plan from operator profiles.
+
+    Args:
+        profiles: Per-operator planning profiles, in execution order.
+        cost_model: Cost model (used for preload-frontier derivation).
+        sram_budget_bytes: Per-core SRAM budget.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[OperatorProfile],
+        cost_model: CostModel,
+        sram_budget_bytes: int,
+    ) -> None:
+        self.profiles = list(profiles)
+        self.cost_model = cost_model
+        self.sram_budget = sram_budget_bytes
+
+    def _preload_option_within(
+        self, profile: OperatorProfile, budget: int
+    ) -> PreloadOption | None:
+        """Largest preload option of the operator's fastest plan that fits ``budget``."""
+        frontier = profile.preload_frontier(profile.fastest.plan, self.cost_model)
+        for option in frontier:
+            if option.memory_bytes <= budget:
+                return option
+        return None
+
+    def plan(self, model_name: str = "") -> ExecutionPlan:
+        """Produce the Basic execution plan."""
+        n = len(self.profiles)
+        schedules = []
+        chosen_preload: dict[int, PreloadOption] = {}
+        preload_numbers = [0] * n
+
+        for i, profile in enumerate(self.profiles):
+            execute_option = profile.fastest
+            leftover = self.sram_budget - execute_option.memory_bytes
+            if i + 1 < n:
+                next_profile = self.profiles[i + 1]
+                option = self._preload_option_within(next_profile, max(0, leftover))
+                if option is not None:
+                    preload_numbers[i] = 1
+                    chosen_preload[i + 1] = option
+
+        for i, profile in enumerate(self.profiles):
+            execute_option = profile.fastest
+            preload_option = chosen_preload.get(i)
+            if preload_option is None:
+                # Never overlapped with a predecessor: preloaded while the chip
+                # is otherwise idle, so the broadcast-everything plan is free.
+                preload_option = profile.preload_frontier(
+                    execute_option.plan, self.cost_model
+                )[0]
+            schedules.append(
+                make_schedule(
+                    index=i,
+                    op_name=profile.op.name,
+                    execute_option=execute_option,
+                    preload_option=preload_option,
+                    hbm_bytes=profile.hbm_bytes,
+                    hbm_time=profile.hbm_time,
+                    preload_number=preload_numbers[i],
+                    op_type=profile.op.op_type,
+                )
+            )
+
+        return ExecutionPlan(
+            model_name=model_name,
+            policy="basic",
+            schedules=schedules,
+            preload_order=tuple(range(n)),
+            sram_budget_bytes=self.sram_budget,
+        )

@@ -1,0 +1,23 @@
+"""Code generation: abstract device programs (§4.5) and their runtime semantics."""
+
+from repro.codegen.device_program import (
+    DeviceProgram,
+    Execute,
+    Instruction,
+    PreloadAsync,
+)
+from repro.codegen.generator import KERNEL_TEMPLATES, generate_device_program, kernel_for
+from repro.codegen.runtime import DeviceRuntime, InstructionTrace, RuntimeResult
+
+__all__ = [
+    "DeviceProgram",
+    "Execute",
+    "Instruction",
+    "PreloadAsync",
+    "KERNEL_TEMPLATES",
+    "generate_device_program",
+    "kernel_for",
+    "DeviceRuntime",
+    "InstructionTrace",
+    "RuntimeResult",
+]

@@ -1,0 +1,148 @@
+"""Abstract device programming model (§4.5).
+
+Elk lowers an execution plan into two device functions generated at compile
+time: ``preload_async(op=i)`` asks the HBM controllers to deliver operator
+``i``'s data to the cores following its preload-state plan, and
+``execute(op=i)`` waits for that preload, runs the ``distribute_data`` phase
+that transforms preload-state into execute-state, and finally runs
+``local_execute`` on every core.  The hardware enforces three one-way
+synchronization rules, reproduced by the runtime interpreter
+(:mod:`repro.codegen.runtime`):
+
+1. an ``execute`` blocks all later ``preload_async``/``execute`` calls until it
+   finishes;
+2. all ``preload_async`` calls are served sequentially, in program order;
+3. ``preload_async(op=i)`` blocks only ``execute(op=i)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import CodegenError
+
+
+@dataclass(frozen=True)
+class PreloadAsync:
+    """``preload_async(op=...)`` — deliver an operator's data to the cores.
+
+    Attributes:
+        op_index: Operator index in execution order.
+        hbm_bytes: Unique bytes read from HBM.
+        per_core_bytes: Bytes delivered into each consumer core's SRAM.
+        done_tag: Name of the completion tag appended to the delivered data.
+    """
+
+    op_index: int
+    hbm_bytes: int
+    per_core_bytes: int
+    done_tag: str
+
+    def render(self) -> str:
+        """Pseudo-code rendering used in dumps and tests."""
+        return f"preload_async(op={self.op_index})  # tag={self.done_tag}"
+
+
+@dataclass(frozen=True)
+class Execute:
+    """``execute(op=...)`` — wait, distribute, then run the operator.
+
+    Attributes:
+        op_index: Operator index in execution order.
+        wait_tag: Completion tag of the operator's own preload.
+        distribution_bytes_per_core: Bytes each core copies from peers in the
+            ``distribute_data`` step.
+        tiles_per_core: Tiles each core computes in ``local_execute``.
+        kernel: Name of the per-tile kernel template.
+    """
+
+    op_index: int
+    wait_tag: str
+    distribution_bytes_per_core: int
+    tiles_per_core: int
+    kernel: str
+
+    def render(self) -> str:
+        """Pseudo-code rendering used in dumps and tests."""
+        return (
+            f"execute(op={self.op_index})  # wait({self.wait_tag}); "
+            f"distribute_data({self.distribution_bytes_per_core}B); "
+            f"local_execute({self.kernel} x{self.tiles_per_core})"
+        )
+
+
+Instruction = PreloadAsync | Execute
+
+
+@dataclass
+class DeviceProgram:
+    """A compiled device program: an ordered instruction stream.
+
+    Attributes:
+        model_name: Compiled model.
+        policy: Compiler policy that produced the underlying plan.
+        instructions: The instruction stream (preloads and executes interleaved).
+        metadata: Free-form compile metadata.
+    """
+
+    model_name: str
+    policy: str
+    instructions: list[Instruction] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    @property
+    def preloads(self) -> list[PreloadAsync]:
+        """All preload instructions in program order."""
+        return [i for i in self.instructions if isinstance(i, PreloadAsync)]
+
+    @property
+    def executes(self) -> list[Execute]:
+        """All execute instructions in program order."""
+        return [i for i in self.instructions if isinstance(i, Execute)]
+
+    def validate(self) -> None:
+        """Check the §4.5 structural invariants of the instruction stream.
+
+        Raises:
+            CodegenError: If an operator executes before its preload is issued,
+                an operator is preloaded or executed more than once, or the
+                executes are not in ascending operator order.
+        """
+        issued: set[int] = set()
+        executed: list[int] = []
+        for instruction in self.instructions:
+            if isinstance(instruction, PreloadAsync):
+                if instruction.op_index in issued:
+                    raise CodegenError(
+                        f"operator {instruction.op_index} preloaded twice"
+                    )
+                issued.add(instruction.op_index)
+            else:
+                if instruction.op_index not in issued:
+                    raise CodegenError(
+                        f"execute(op={instruction.op_index}) issued before its preload"
+                    )
+                if executed and instruction.op_index != executed[-1] + 1:
+                    raise CodegenError(
+                        f"execute(op={instruction.op_index}) violates execution order"
+                    )
+                if instruction.op_index in executed:
+                    raise CodegenError(
+                        f"operator {instruction.op_index} executed twice"
+                    )
+                executed.append(instruction.op_index)
+        if executed and executed[0] != 0:
+            raise CodegenError("the first executed operator must be operator 0")
+
+    def render(self) -> str:
+        """Human-readable pseudo-code of the whole program."""
+        lines = [f"// model={self.model_name} policy={self.policy}"]
+        lines.extend(instruction.render() for instruction in self.instructions)
+        return "\n".join(lines)

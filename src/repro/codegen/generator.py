@@ -1,0 +1,119 @@
+"""Code generation: execution plans → abstract device programs (§4.5).
+
+The generator interleaves ``preload_async`` and ``execute`` calls so that the
+hardware's three synchronization rules reproduce exactly the overlap the
+scheduler decided on: before ``execute(op=i)`` it emits every preload the plan
+allows to be outstanding during operator ``i``'s execution (its own preload
+plus the next ``preload_number`` operators in preload order), and nothing
+more — any later preload would be blocked by rule 1 anyway, and emitting it
+earlier would overflow the on-chip memory the allocator budgeted.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodegenError
+from repro.scheduler.plan import ExecutionPlan
+from repro.codegen.device_program import DeviceProgram, Execute, PreloadAsync
+
+#: Kernel template names per operator type (vendor-library code templates).
+KERNEL_TEMPLATES = {
+    "matmul": "poplin::matMul",
+    "batch_matmul": "poplin::matMulGrouped",
+    "elementwise": "popops::map",
+    "softmax": "popnn::softmax",
+    "layer_norm": "popnn::groupNorm",
+    "rms_norm": "popnn::rmsNorm",
+    "rotary_embedding": "popops::rotaryEmbedding",
+    "reduce": "popops::reduce",
+    "embedding": "popops::gather",
+    "transpose": "popops::transpose",
+    "concat": "popops::concat",
+}
+
+
+def kernel_for(op_type: str) -> str:
+    """Kernel template used by ``local_execute`` for an operator type."""
+    return KERNEL_TEMPLATES.get(op_type, "popops::map")
+
+
+def generate_device_program(plan: ExecutionPlan) -> DeviceProgram:
+    """Lower an execution plan to the abstract device program.
+
+    Args:
+        plan: A per-chip execution plan from any policy.
+
+    Returns:
+        The validated :class:`DeviceProgram`.
+
+    Raises:
+        CodegenError: If the plan's preload order / preload numbers cannot be
+            realized as a valid instruction stream.
+    """
+    n = len(plan)
+    order = list(plan.preload_order)
+    pos = [0] * n
+    for position, op_index in enumerate(order):
+        pos[op_index] = position
+
+    # q[i]: first preload position that may still be outstanding when operator
+    # i starts executing (same construction as the scheduler / simulator).
+    q = [0] * n
+    running = -1
+    for i in range(n):
+        running = max(running, pos[i])
+        q[i] = running + 1
+
+    program = DeviceProgram(
+        model_name=plan.model_name,
+        policy=plan.policy,
+        metadata={"sram_budget_bytes": plan.sram_budget_bytes, **plan.metadata},
+    )
+
+    emitted = 0  # number of preload positions already emitted
+    for i in range(n):
+        schedule = plan.schedules[i]
+        allowed = q[i] + schedule.preload_number
+        if pos[i] >= allowed:
+            raise CodegenError(
+                f"operator {schedule.op_name!r} would execute before its preload "
+                f"is allowed to issue"
+            )
+        while emitted < min(allowed, n):
+            op_index = order[emitted]
+            preload_schedule = plan.schedules[op_index]
+            program.instructions.append(
+                PreloadAsync(
+                    op_index=op_index,
+                    hbm_bytes=preload_schedule.hbm_bytes,
+                    per_core_bytes=preload_schedule.preload_plan.preload_noc_bytes_per_core,
+                    done_tag=f"done_preload_op_{op_index}",
+                )
+            )
+            emitted += 1
+        program.instructions.append(
+            Execute(
+                op_index=i,
+                wait_tag=f"done_preload_op_{i}",
+                distribution_bytes_per_core=schedule.preload_plan.distribution_bytes_per_core,
+                tiles_per_core=schedule.execute_plan.tiles_per_core,
+                kernel=kernel_for(schedule.op_type),
+            )
+        )
+
+    # Any remaining preloads (operators whose preload was pushed past the last
+    # execution window) are emitted at the end of the stream.
+    while emitted < n:
+        op_index = order[emitted]
+        preload_schedule = plan.schedules[op_index]
+        program.instructions.append(
+            PreloadAsync(
+                op_index=op_index,
+                hbm_bytes=preload_schedule.hbm_bytes,
+                per_core_bytes=preload_schedule.preload_plan.preload_noc_bytes_per_core,
+                done_tag=f"done_preload_op_{op_index}",
+            )
+        )
+        emitted += 1
+
+    program.validate()
+    return program

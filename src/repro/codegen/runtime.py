@@ -1,0 +1,120 @@
+"""Runtime interpreter for the abstract device program.
+
+The interpreter replays a :class:`~repro.codegen.device_program.DeviceProgram`
+under the §4.5 hardware rules — executes serialize and block later preloads,
+preloads serialize among themselves, a preload only blocks its own execute —
+using per-operator durations from the compiled plan.  It is the reference
+semantics of the programming model: the analytic timeline evaluator and the
+event-driven simulator must agree with it on plans without contention, which
+the test suite checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codegen.device_program import DeviceProgram, Execute, PreloadAsync
+from repro.errors import CodegenError
+from repro.scheduler.plan import ExecutionPlan
+
+
+@dataclass
+class InstructionTrace:
+    """Execution record of one instruction.
+
+    Attributes:
+        kind: ``"preload"`` or ``"execute"``.
+        op_index: Operator the instruction belongs to.
+        start: Start time (seconds).
+        end: End time (seconds).
+    """
+
+    kind: str
+    op_index: int
+    start: float
+    end: float
+
+
+@dataclass
+class RuntimeResult:
+    """Result of interpreting a device program.
+
+    Attributes:
+        total_time: Completion time of the last instruction.
+        traces: Per-instruction timing records, in program order.
+        hbm_busy_time: Total time the preload engine was busy.
+        cores_busy_time: Total time the execute engine was busy.
+    """
+
+    total_time: float
+    traces: list[InstructionTrace] = field(default_factory=list)
+    hbm_busy_time: float = 0.0
+    cores_busy_time: float = 0.0
+
+    def trace_for(self, kind: str, op_index: int) -> InstructionTrace:
+        """Look up the trace of one instruction."""
+        for trace in self.traces:
+            if trace.kind == kind and trace.op_index == op_index:
+                return trace
+        raise CodegenError(f"no {kind} trace for operator {op_index}")
+
+
+class DeviceRuntime:
+    """Interprets device programs with durations taken from a compiled plan.
+
+    Args:
+        plan: The execution plan the program was generated from (provides the
+            per-operator preload, distribution, and execution durations).
+    """
+
+    def __init__(self, plan: ExecutionPlan) -> None:
+        self.plan = plan
+
+    def run(self, program: DeviceProgram) -> RuntimeResult:
+        """Interpret ``program`` and return its timing."""
+        program.validate()
+        schedules = self.plan.schedules
+        preload_end: dict[int, float] = {}
+
+        hbm_free = 0.0
+        cores_free = 0.0
+        last_execute_end = 0.0
+        hbm_busy = 0.0
+        cores_busy = 0.0
+        traces: list[InstructionTrace] = []
+
+        for instruction in program:
+            if isinstance(instruction, PreloadAsync):
+                schedule = schedules[instruction.op_index]
+                # Rule 2: preloads are sequential.  Rule 1: every execute that
+                # appeared earlier in the program blocks this preload.
+                start = max(hbm_free, last_execute_end)
+                end = start + schedule.preload_time
+                hbm_free = end
+                hbm_busy += end - start
+                preload_end[instruction.op_index] = end
+                traces.append(InstructionTrace("preload", instruction.op_index, start, end))
+            elif isinstance(instruction, Execute):
+                schedule = schedules[instruction.op_index]
+                if instruction.op_index not in preload_end:
+                    raise CodegenError(
+                        f"execute(op={instruction.op_index}) has no issued preload"
+                    )
+                # Rule 3: only the operator's own preload blocks its execute;
+                # rule 1: the previous execute blocks this one.
+                start = max(cores_free, preload_end[instruction.op_index])
+                end = start + schedule.distribution_time + schedule.execution_time
+                cores_free = end
+                last_execute_end = end
+                cores_busy += end - start
+                traces.append(InstructionTrace("execute", instruction.op_index, start, end))
+            else:  # pragma: no cover - defensive
+                raise CodegenError(f"unknown instruction {instruction!r}")
+
+        total = max(hbm_free, cores_free)
+        return RuntimeResult(
+            total_time=total,
+            traces=traces,
+            hbm_busy_time=hbm_busy,
+            cores_busy_time=cores_busy,
+        )

@@ -1,0 +1,29 @@
+"""The Elk compiler driver: frontend, policies, and the compile pipeline."""
+
+from repro.compiler.frontend import (
+    FrontendResult,
+    WorkloadSpec,
+    build_frontend_result,
+    interchip_reduction_bytes,
+    shard_dit_config,
+    shard_transformer_config,
+)
+from repro.compiler.pipeline import (
+    POLICIES,
+    CompileResult,
+    ModelCompiler,
+    compile_model,
+)
+
+__all__ = [
+    "FrontendResult",
+    "WorkloadSpec",
+    "build_frontend_result",
+    "interchip_reduction_bytes",
+    "shard_dit_config",
+    "shard_transformer_config",
+    "POLICIES",
+    "CompileResult",
+    "ModelCompiler",
+    "compile_model",
+]

@@ -1,0 +1,203 @@
+"""Compiler frontend: models → per-chip operator graphs.
+
+The paper runs models on an IPU-POD4 with model (tensor) parallelism across
+the four chips (§5): attention heads, FFN columns, the KV cache and the
+vocabulary projection are split across chips, activations are replicated, and
+each layer performs two small all-reduces of the activation tensor over the
+inter-chip links.  The frontend therefore builds, for a requested model and
+system, the *per-chip* operator graph (the sharded architecture configuration
+re-run through the model builders) plus the per-token inter-chip reduction
+volume, which the pipeline adds as a separate latency term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.arch.chip import SystemConfig
+from repro.errors import ConfigurationError
+from repro.ir.graph import OperatorGraph
+from repro.ir.models.config import DiTConfig, TransformerConfig
+from repro.ir.models.dit import build_dit_graph
+from repro.ir.models.registry import get_config
+from repro.ir.models.transformer import build_decode_graph, build_prefill_graph
+from repro.units import ceil_div
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A model + serving configuration to compile.
+
+    Attributes:
+        model: Registered model name (e.g. ``"llama2-13b"``) or an explicit
+            architecture configuration.
+        batch_size: Concurrent requests (LLMs) or images (DiT).
+        seq_len: KV-cache / sequence length (ignored for DiT).
+        phase: ``"decode"``, ``"prefill"`` / ``"training_forward"``, or
+            ``"diffusion_step"``.
+        num_layers: Optional layer-count override for scaled experiments.
+    """
+
+    model: str | TransformerConfig | DiTConfig
+    batch_size: int = 32
+    seq_len: int = 2048
+    phase: str = "decode"
+    num_layers: int | None = None
+
+    def resolve_config(self) -> TransformerConfig | DiTConfig:
+        """Return the architecture configuration of the requested model."""
+        if isinstance(self.model, (TransformerConfig, DiTConfig)):
+            return self.model
+        return get_config(self.model)
+
+    @property
+    def model_name(self) -> str:
+        """Canonical model name."""
+        return self.resolve_config().name
+
+
+@dataclass(frozen=True)
+class FrontendResult:
+    """Output of the frontend for one workload on one system.
+
+    Attributes:
+        workload: The requested workload.
+        per_chip_graph: Operator graph of one chip's model-parallel share.
+        full_graph_flops: FLOPs of the *whole* model step (all chips).
+        interchip_bytes_per_step: Bytes all-reduced over the inter-chip links
+            per model step (decode token / diffusion step / training step).
+        num_chips: Number of chips the model was sharded over.
+    """
+
+    workload: WorkloadSpec
+    per_chip_graph: OperatorGraph
+    full_graph_flops: int
+    interchip_bytes_per_step: int
+    num_chips: int
+
+
+def shard_transformer_config(
+    config: TransformerConfig, num_chips: int
+) -> TransformerConfig:
+    """Megatron-style model-parallel shard of a transformer configuration.
+
+    Attention heads, KV heads, the FFN inner dimension and the vocabulary are
+    divided across chips; the hidden size is untouched because activations are
+    replicated and all-reduced.
+    """
+    if num_chips <= 0:
+        raise ConfigurationError("num_chips must be positive")
+    if num_chips == 1:
+        return config
+    heads = ceil_div(config.num_heads, num_chips)
+    kv_heads = max(1, ceil_div(config.num_kv_heads, num_chips))
+    if heads % kv_heads != 0:
+        kv_heads = 1
+    return replace(
+        config,
+        name=f"{config.name}-mp{num_chips}",
+        num_heads=heads,
+        num_kv_heads=kv_heads,
+        head_dim=config.head_dim,
+        ffn_dim=ceil_div(config.ffn_dim, num_chips),
+        vocab_size=ceil_div(config.vocab_size, num_chips),
+    )
+
+
+def shard_dit_config(config: DiTConfig, num_chips: int) -> DiTConfig:
+    """Model-parallel shard of a DiT configuration (heads and FFN split)."""
+    if num_chips <= 0:
+        raise ConfigurationError("num_chips must be positive")
+    if num_chips == 1:
+        return config
+    heads = max(1, ceil_div(config.num_heads, num_chips))
+    hidden = config.hidden_size  # activations replicated
+    return DiTConfig(
+        name=f"{config.name}-mp{num_chips}",
+        hidden_size=hidden,
+        num_layers=config.num_layers,
+        num_heads=heads,
+        mlp_ratio=max(1, ceil_div(config.mlp_ratio, num_chips)),
+        input_size=config.input_size,
+        patch_size=config.patch_size,
+        in_channels=config.in_channels,
+        dtype=config.dtype,
+    )
+
+
+def _build_graph(
+    config: TransformerConfig | DiTConfig, workload: WorkloadSpec
+) -> OperatorGraph:
+    if isinstance(config, DiTConfig):
+        return build_dit_graph(config, workload.batch_size, num_layers=workload.num_layers)
+    if workload.phase == "decode":
+        return build_decode_graph(
+            config,
+            workload.batch_size,
+            workload.seq_len,
+            num_layers=workload.num_layers,
+        )
+    if workload.phase in ("prefill", "training_forward"):
+        return build_prefill_graph(
+            config,
+            workload.batch_size,
+            workload.seq_len,
+            num_layers=workload.num_layers,
+        )
+    raise ConfigurationError(f"unknown phase {workload.phase!r}")
+
+
+def interchip_reduction_bytes(
+    config: TransformerConfig | DiTConfig, workload: WorkloadSpec, num_chips: int
+) -> int:
+    """Per-step bytes all-reduced across chips under model parallelism.
+
+    Each transformer layer all-reduces the activation tensor twice (after the
+    attention output projection and after the FFN down projection); a ring
+    all-reduce moves ``2 (n-1)/n`` times the tensor size per chip.
+    """
+    if num_chips <= 1:
+        return 0
+    if isinstance(config, DiTConfig):
+        tokens = workload.batch_size * config.num_tokens
+        hidden = config.hidden_size
+        layers = workload.num_layers or config.num_layers
+    else:
+        tokens = workload.batch_size * (
+            1 if workload.phase == "decode" else workload.seq_len
+        )
+        hidden = config.hidden_size
+        layers = workload.num_layers or config.num_layers
+    tensor_bytes = tokens * hidden * config.dtype.itemsize
+    per_layer = 2 * tensor_bytes * 2 * (num_chips - 1) // num_chips
+    return per_layer * layers
+
+
+def build_frontend_result(workload: WorkloadSpec, system: SystemConfig) -> FrontendResult:
+    """Build the per-chip graph and sharding metadata for a workload.
+
+    Args:
+        workload: The model + serving configuration.
+        system: The target multi-chip system.
+
+    Returns:
+        The :class:`FrontendResult` consumed by the compile pipeline.
+    """
+    config = workload.resolve_config()
+    full_graph = _build_graph(config, workload)
+
+    if isinstance(config, DiTConfig):
+        sharded = shard_dit_config(config, system.num_chips)
+    else:
+        sharded = shard_transformer_config(config, system.num_chips)
+    per_chip_graph = _build_graph(sharded, workload)
+    per_chip_graph.metadata["model_parallel_degree"] = system.num_chips
+    per_chip_graph.metadata["full_model"] = config.name
+
+    return FrontendResult(
+        workload=workload,
+        per_chip_graph=per_chip_graph,
+        full_graph_flops=full_graph.total_flops,
+        interchip_bytes_per_step=interchip_reduction_bytes(config, workload, system.num_chips),
+        num_chips=system.num_chips,
+    )

@@ -1,0 +1,31 @@
+"""Cost models: analytic, measured (device profile), and fitted (linear tree)."""
+
+from repro.cost.device_profile import DeviceProfile, TileWorkload
+from repro.cost.fitted import AccuracyReport, FittedCostModel
+from repro.cost.linear_tree import LinearTreeRegressor
+from repro.cost.model import (
+    AnalyticCostModel,
+    CostModel,
+    ExecutionCost,
+    MeasuredCostModel,
+)
+from repro.cost.roofline import (
+    RooflineEstimate,
+    operator_compute_lower_bound,
+    roofline_estimate,
+)
+
+__all__ = [
+    "DeviceProfile",
+    "TileWorkload",
+    "AccuracyReport",
+    "FittedCostModel",
+    "LinearTreeRegressor",
+    "AnalyticCostModel",
+    "CostModel",
+    "ExecutionCost",
+    "MeasuredCostModel",
+    "RooflineEstimate",
+    "operator_compute_lower_bound",
+    "roofline_estimate",
+]

@@ -1,0 +1,90 @@
+"""Roofline estimates for whole models on an ICCA system.
+
+The paper's ``Ideal`` baseline (§6.1) is a roofline design: preload and
+execution each get a private interconnect (no contention) and the full on-chip
+memory (no space contention), every operator uses its minimum preload space,
+and the data-distribution phase is free.  Under those assumptions the
+per-token latency collapses to the maximum of (a) the total HBM load time,
+(b) the total on-chip execution time using each operator's fastest plan, with
+a small pipeline-fill term for the first operator's preload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arch.chip import SystemConfig
+from repro.ir.graph import OperatorGraph
+from repro.ir.operators import Operator
+
+
+@dataclass(frozen=True)
+class RooflineEstimate:
+    """Roofline latency decomposition for one model on one system.
+
+    Attributes:
+        hbm_time: Time to stream all HBM-resident operator data once.
+        compute_time: Sum of the fastest per-operator execution times.
+        fill_time: Pipeline-fill term (first operator's HBM load).
+        total_time: Roofline latency = ``max(hbm_time, compute_time) + fill_time``.
+        achieved_flops: Model FLOPs divided by ``total_time``.
+        hbm_bound: Whether the HBM term dominates.
+    """
+
+    hbm_time: float
+    compute_time: float
+    fill_time: float
+    total_time: float
+    achieved_flops: float
+    hbm_bound: bool
+
+
+def operator_compute_lower_bound(op: Operator, system: SystemConfig) -> float:
+    """Fastest possible execution time of one operator on the system.
+
+    The bound uses the peak FLOP rate of the pipeline class the operator runs
+    on and the aggregate SRAM streaming bandwidth, whichever is slower; this
+    is what the ``Ideal`` design achieves with unlimited execution space.
+    """
+    chip = system.chip
+    flops_rate = (
+        system.total_matmul_flops if op.is_matmul_like else system.total_vector_flops
+    )
+    compute = op.flops / flops_rate
+    touched = op.hbm_load_bytes + op.on_chip_input_bytes + op.output_bytes
+    sram = touched / (system.total_cores * chip.core.sram_bandwidth)
+    return max(compute, sram)
+
+
+def roofline_estimate(
+    graph: OperatorGraph,
+    system: SystemConfig,
+    operators: Sequence[Operator] | None = None,
+) -> RooflineEstimate:
+    """Compute the Ideal-roofline latency of a model on a system.
+
+    Args:
+        graph: The model graph (used for totals and, by default, operators).
+        system: The target system.
+        operators: Optional operator subset (defaults to the whole graph).
+
+    Returns:
+        The :class:`RooflineEstimate`.
+    """
+    ops = list(operators) if operators is not None else list(graph)
+    hbm_bytes = sum(op.hbm_load_bytes for op in ops)
+    hbm_time = hbm_bytes / system.total_hbm_bandwidth if hbm_bytes else 0.0
+    compute_time = sum(operator_compute_lower_bound(op, system) for op in ops)
+    fill_bytes = next((op.hbm_load_bytes for op in ops if op.hbm_load_bytes), 0)
+    fill_time = fill_bytes / system.total_hbm_bandwidth if fill_bytes else 0.0
+    total = max(hbm_time, compute_time) + fill_time
+    flops = sum(op.flops for op in ops)
+    return RooflineEstimate(
+        hbm_time=hbm_time,
+        compute_time=compute_time,
+        fill_time=fill_time,
+        total_time=total,
+        achieved_flops=flops / total if total > 0 else 0.0,
+        hbm_bound=hbm_time >= compute_time,
+    )

@@ -1,0 +1,14 @@
+"""HBM timing simulation (DRAMsim3 substitute) used by the emulation framework."""
+
+from repro.dram.hbm_sim import AccessRecord, HBMSimulator, TensorPlacement, TensorPlacer
+from repro.dram.timing import HBM2E_TIMING, HBM3E_TIMING, HBMTimingParams
+
+__all__ = [
+    "AccessRecord",
+    "HBMSimulator",
+    "TensorPlacement",
+    "TensorPlacer",
+    "HBM2E_TIMING",
+    "HBM3E_TIMING",
+    "HBMTimingParams",
+]

@@ -1,0 +1,63 @@
+"""HBM device timing parameters.
+
+The paper obtains HBM access latencies from DRAMsim3; offline we reproduce the
+tensor-granularity behaviour the compiler actually consumes with a bank/row
+timing model: sequential tensor reads mostly hit open rows and stream at close
+to peak bandwidth, while scattered accesses pay activate/precharge penalties.
+Parameters follow HBM3E-class devices (per-stack ~1 TB/s, 16 channels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+from repro.units import GB, KiB
+
+
+@dataclass(frozen=True)
+class HBMTimingParams:
+    """Timing/geometry parameters of one HBM stack.
+
+    Attributes:
+        num_channels: Independent channels per stack.
+        banks_per_channel: Banks per channel.
+        row_size_bytes: Row (page) size per bank.
+        peak_bandwidth: Peak data rate of the stack, bytes/s.
+        t_rcd: Row-to-column (activate) delay, seconds.
+        t_rp: Precharge delay, seconds.
+        t_cas: Column access latency, seconds.
+        burst_bytes: Bytes per burst (access granularity).
+    """
+
+    num_channels: int = 16
+    banks_per_channel: int = 16
+    row_size_bytes: int = 1 * KiB
+    peak_bandwidth: float = 1.0 * 1e12
+    t_rcd: float = 14e-9
+    t_rp: float = 14e-9
+    t_cas: float = 14e-9
+    burst_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_channels <= 0 or self.banks_per_channel <= 0:
+            raise ArchitectureError("HBM needs at least one channel and bank")
+        if self.peak_bandwidth <= 0 or self.row_size_bytes <= 0 or self.burst_bytes <= 0:
+            raise ArchitectureError("HBM bandwidth/row/burst must be positive")
+
+    @property
+    def row_miss_penalty(self) -> float:
+        """Latency added by a row-buffer miss (precharge + activate)."""
+        return self.t_rp + self.t_rcd
+
+    @property
+    def channel_bandwidth(self) -> float:
+        """Peak bandwidth of one channel, bytes/s."""
+        return self.peak_bandwidth / self.num_channels
+
+
+#: HBM3E-class stack.
+HBM3E_TIMING = HBMTimingParams()
+
+#: HBM2E-class stack (used for cheaper-memory design points, §6.4 insight 4).
+HBM2E_TIMING = HBMTimingParams(peak_bandwidth=0.46e12, t_rcd=16e-9, t_rp=16e-9, t_cas=16e-9)

@@ -1,0 +1,5 @@
+"""Design-space exploration of ICCA chip architectures (§6.4)."""
+
+from repro.dse.explorer import DesignPoint, DesignPointResult, DesignSpaceExplorer
+
+__all__ = ["DesignPoint", "DesignPointResult", "DesignSpaceExplorer"]

@@ -1,0 +1,5 @@
+"""Emulation framework: device-profile timings + DRAM-simulated HBM latencies."""
+
+from repro.emu.emulator import EmulationFramework, EmulationResult
+
+__all__ = ["EmulationFramework", "EmulationResult"]

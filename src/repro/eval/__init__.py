@@ -1,0 +1,53 @@
+"""Evaluation harness: per-figure experiment runners, traces, and reporting."""
+
+from repro.eval.experiments import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    compare_policies,
+    compile_time_report,
+    core_count_sweep,
+    cost_model_accuracy,
+    end_to_end_latency,
+    evaluate_policy,
+    execution_space_profile,
+    hbm_bandwidth_sweep,
+    min_max_preload_demand,
+    model_stats_table,
+    noc_bandwidth_sweep,
+    preload_space_hbm_demand,
+    training_flops_sweep,
+    utilization_report,
+)
+from repro.eval.reporting import format_table, geometric_mean, save_results
+from repro.eval.traces import (
+    BandwidthTrace,
+    hbm_demand_trace,
+    intercore_demand_trace,
+    memory_occupancy_trace,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "ExperimentConfig",
+    "compare_policies",
+    "compile_time_report",
+    "core_count_sweep",
+    "cost_model_accuracy",
+    "end_to_end_latency",
+    "evaluate_policy",
+    "execution_space_profile",
+    "hbm_bandwidth_sweep",
+    "min_max_preload_demand",
+    "model_stats_table",
+    "noc_bandwidth_sweep",
+    "preload_space_hbm_demand",
+    "training_flops_sweep",
+    "utilization_report",
+    "format_table",
+    "geometric_mean",
+    "save_results",
+    "BandwidthTrace",
+    "hbm_demand_trace",
+    "intercore_demand_trace",
+    "memory_occupancy_trace",
+]

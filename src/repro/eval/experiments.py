@@ -1,0 +1,558 @@
+"""Experiment runners for every table and figure of the paper's evaluation.
+
+Each function reproduces the data behind one artifact (Table 2, Figs. 5-24)
+and returns plain result rows (``list[dict]``) that the benchmark harness
+prints and persists.  The default configurations are *scaled*: a representative
+number of identical transformer layers and a bounded search, so a full
+figure regenerates in seconds-to-minutes on a laptop while preserving the
+relative behaviour of the designs (who wins, by how much, and where the
+crossovers are).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.arch.chip import SystemConfig
+from repro.arch.interconnect import ALL_TO_ALL, MESH_2D
+from repro.arch.presets import ipu_pod4, single_chip
+from repro.baselines.static import StaticCompiler, StaticOptions
+from repro.compiler.frontend import WorkloadSpec
+from repro.compiler.pipeline import POLICIES, CompileResult, ModelCompiler
+from repro.cost.fitted import FittedCostModel
+from repro.cost.model import AnalyticCostModel
+from repro.errors import ElkError
+from repro.eval.traces import hbm_demand_trace, intercore_demand_trace
+from repro.ir.models.registry import PAPER_LLM_NAMES, get_config
+from repro.partition.enumerate import EnumerationLimits, enumerate_execute_plans
+from repro.partition.pareto import frontier_from_plans
+from repro.scheduler.elk import ElkOptions
+from repro.scheduler.preload_order import OrderSearchConfig
+from repro.scheduler.timeline import TimelineEvaluator
+from repro.sim.multichip import simulate_system
+from repro.units import GB, KiB, TB
+
+
+@dataclass
+class ExperimentConfig:
+    """Shared knobs of the experiment runners.
+
+    Attributes:
+        num_layers: Transformer layers compiled per model (scaled runs).
+        batch_size: Default batch size.
+        seq_len: Default sequence length.
+        use_simulator: Evaluate plans with the event-driven simulator (True)
+            or the analytic timeline only (False).
+        policies: Designs to compare.
+        max_preload_ahead: Cap on the preload number.
+        max_order_candidates: Cap on evaluated preload orders for Elk-Full.
+    """
+
+    num_layers: int = 2
+    batch_size: int = 32
+    seq_len: int = 2048
+    use_simulator: bool = True
+    policies: tuple[str, ...] = POLICIES
+    max_preload_ahead: int | None = 12
+    max_order_candidates: int = 24
+
+    def elk_options(self) -> ElkOptions:
+        """Elk options derived from this configuration."""
+        return ElkOptions(
+            max_preload_ahead=self.max_preload_ahead,
+            order_search=OrderSearchConfig(max_candidates=self.max_order_candidates),
+        )
+
+
+DEFAULT_CONFIG = ExperimentConfig()
+
+
+# --------------------------------------------------------------------------- #
+# Core helper: compile one workload with one policy and measure it.
+# --------------------------------------------------------------------------- #
+def evaluate_policy(
+    compiler: ModelCompiler, policy: str, config: ExperimentConfig
+) -> dict[str, object]:
+    """Compile + evaluate one policy and return a flat result row."""
+    result: CompileResult = compiler.compile(policy)
+    row: dict[str, object] = {
+        "model": result.workload.model_name,
+        "batch_size": result.workload.batch_size,
+        "seq_len": result.workload.seq_len,
+        "policy": policy,
+        "compile_seconds": round(result.compile_seconds, 3),
+    }
+    if policy == "ideal" or result.plan is None or not config.use_simulator:
+        row.update(
+            {
+                "latency_ms": result.latency * 1e3,
+                "hbm_utilization": result.hbm_utilization,
+                "noc_utilization": result.noc_utilization,
+                "achieved_tflops": result.achieved_tflops,
+                **{f"breakdown_{k}_ms": v * 1e3 for k, v in result.breakdown.items()},
+            }
+        )
+        return row
+
+    sim = simulate_system(
+        result.plan,
+        compiler.system,
+        compiler.frontend.per_chip_graph.total_flops,
+        compiler.frontend.full_graph_flops,
+        compiler.frontend.interchip_bytes_per_step,
+    )
+    row.update(
+        {
+            "latency_ms": sim.total_time * 1e3,
+            "hbm_utilization": sim.chip_result.hbm_utilization,
+            "noc_utilization": sim.chip_result.noc_utilization,
+            "noc_preload_fraction": sim.chip_result.noc_preload_fraction,
+            "achieved_tflops": sim.achieved_tflops,
+            **{f"breakdown_{k}_ms": v * 1e3 for k, v in sim.breakdown().items()},
+            "analytic_latency_ms": result.latency * 1e3,
+        }
+    )
+    return row
+
+
+def _compiler_for(
+    workload: WorkloadSpec, system: SystemConfig, config: ExperimentConfig
+) -> ModelCompiler:
+    return ModelCompiler(workload, system, elk_options=config.elk_options())
+
+
+def compare_policies(
+    workload: WorkloadSpec, system: SystemConfig, config: ExperimentConfig
+) -> list[dict[str, object]]:
+    """Evaluate every configured policy for one workload on one system."""
+    compiler = _compiler_for(workload, system, config)
+    rows = []
+    for policy in config.policies:
+        try:
+            rows.append(evaluate_policy(compiler, policy, config))
+        except ElkError as error:
+            rows.append(
+                {
+                    "model": workload.model_name,
+                    "batch_size": workload.batch_size,
+                    "seq_len": workload.seq_len,
+                    "policy": policy,
+                    "error": str(error),
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 17: end-to-end per-token latency.
+# --------------------------------------------------------------------------- #
+def end_to_end_latency(
+    models: Sequence[str] = PAPER_LLM_NAMES,
+    batch_sizes: Sequence[int] = (16, 32, 64),
+    seq_lens: Sequence[int] = (2048, 4096),
+    system: SystemConfig | None = None,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> list[dict[str, object]]:
+    """Per-token serving latency of every model / batch / sequence / policy."""
+    system = system or ipu_pod4()
+    rows: list[dict[str, object]] = []
+    for model in models:
+        for seq_len in seq_lens:
+            for batch in batch_sizes:
+                workload = WorkloadSpec(
+                    model, batch_size=batch, seq_len=seq_len, num_layers=config.num_layers
+                )
+                rows.extend(compare_policies(workload, system, config))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 18: breakdown and hardware utilization.
+# --------------------------------------------------------------------------- #
+def utilization_report(
+    models: Sequence[str] = PAPER_LLM_NAMES,
+    system: SystemConfig | None = None,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> list[dict[str, object]]:
+    """Latency breakdown, HBM/NoC utilization, and TFLOPS per design (Fig. 18)."""
+    system = system or ipu_pod4()
+    rows: list[dict[str, object]] = []
+    for model in models:
+        workload = WorkloadSpec(
+            model,
+            batch_size=config.batch_size,
+            seq_len=config.seq_len,
+            num_layers=config.num_layers,
+        )
+        rows.extend(compare_policies(workload, system, config))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figures 19-21: HBM bandwidth sweeps on both topologies.
+# --------------------------------------------------------------------------- #
+def hbm_bandwidth_sweep(
+    models: Sequence[str] = PAPER_LLM_NAMES,
+    hbm_bandwidths: Sequence[float] = (4 * TB, 8 * TB, 12 * TB, 16 * TB),
+    topologies: Sequence[str] = (ALL_TO_ALL, MESH_2D),
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> list[dict[str, object]]:
+    """Per-token latency and NoC utilization at varied HBM bandwidths."""
+    rows: list[dict[str, object]] = []
+    for topology in topologies:
+        for bandwidth in hbm_bandwidths:
+            system = ipu_pod4(topology=topology, hbm_total_bandwidth=bandwidth)
+            for model in models:
+                workload = WorkloadSpec(
+                    model,
+                    batch_size=config.batch_size,
+                    seq_len=config.seq_len,
+                    num_layers=config.num_layers,
+                )
+                for row in compare_policies(workload, system, config):
+                    row["topology"] = topology
+                    row["hbm_bandwidth_TBps"] = bandwidth / 1e12
+                    rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 22: interconnect bandwidth sweep.
+# --------------------------------------------------------------------------- #
+def noc_bandwidth_sweep(
+    model: str = "llama2-70b",
+    noc_bandwidths: Sequence[float] = (24 * TB, 32 * TB, 40 * TB, 48 * TB),
+    hbm_bandwidths: Sequence[float] = (8 * TB, 12 * TB, 16 * TB),
+    topologies: Sequence[str] = (ALL_TO_ALL, MESH_2D),
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> list[dict[str, object]]:
+    """Per-token latency at varied total interconnect bandwidths (Fig. 22)."""
+    rows: list[dict[str, object]] = []
+    for topology in topologies:
+        for hbm_bandwidth in hbm_bandwidths:
+            for noc_bandwidth in noc_bandwidths:
+                system = ipu_pod4(
+                    topology=topology, hbm_total_bandwidth=hbm_bandwidth
+                ).with_total_interconnect_bandwidth(noc_bandwidth)
+                workload = WorkloadSpec(
+                    model,
+                    batch_size=config.batch_size,
+                    seq_len=config.seq_len,
+                    num_layers=config.num_layers,
+                )
+                for row in compare_policies(workload, system, config):
+                    row["topology"] = topology
+                    row["hbm_bandwidth_TBps"] = hbm_bandwidth / 1e12
+                    row["noc_bandwidth_TBps"] = noc_bandwidth / 1e12
+                    rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 23: core-count sweep (HBM bandwidth scales with core count).
+# --------------------------------------------------------------------------- #
+def core_count_sweep(
+    models: Sequence[str] = PAPER_LLM_NAMES + ("dit-xl",),
+    core_counts: Sequence[int] = (736, 1104, 1472),
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> list[dict[str, object]]:
+    """Per-token latency at varied core counts (2.7 GB/s of HBM per core)."""
+    rows: list[dict[str, object]] = []
+    for model in models:
+        is_dit = model.startswith("dit") or model.startswith("tiny-dit")
+        for cores in core_counts:
+            if is_dit:
+                system = single_chip(num_cores=cores)
+            else:
+                system = ipu_pod4().with_cores_per_chip(cores)
+            system = system.with_total_hbm_bandwidth(2.7 * GB * system.total_cores)
+            workload = WorkloadSpec(
+                model,
+                batch_size=config.batch_size if not is_dit else 8,
+                seq_len=config.seq_len,
+                num_layers=config.num_layers,
+            )
+            for row in compare_policies(workload, system, config):
+                row["cores_per_chip"] = cores
+                row["total_cores"] = system.total_cores
+                rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 24: training throughput at varied available FLOPS.
+# --------------------------------------------------------------------------- #
+def training_flops_sweep(
+    model: str = "llama2-13b",
+    available_tflops: Sequence[float] = (500, 1000, 1500),
+    hbm_bandwidths_gbps: Sequence[float] = (300, 400),
+    noc_bandwidths_tbps: Sequence[float] = (32, 48),
+    topologies: Sequence[str] = (ALL_TO_ALL, MESH_2D),
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> list[dict[str, object]]:
+    """Achieved TFLOPS for the training forward pass (Fig. 24)."""
+    policies = tuple(p for p in config.policies if p in ("static", "elk-full", "ideal"))
+    train_config = replace(
+        config, policies=policies, batch_size=4, seq_len=min(config.seq_len, 2048)
+    )
+    rows: list[dict[str, object]] = []
+    for topology in topologies:
+        for hbm_gbps in hbm_bandwidths_gbps:
+            for noc_tbps in noc_bandwidths_tbps:
+                for tflops in available_tflops:
+                    system = (
+                        ipu_pod4(topology=topology, hbm_total_bandwidth=hbm_gbps * GB)
+                        .with_total_interconnect_bandwidth(noc_tbps * TB)
+                        .with_matmul_tflops(tflops)
+                    )
+                    workload = WorkloadSpec(
+                        model,
+                        batch_size=train_config.batch_size,
+                        seq_len=train_config.seq_len,
+                        phase="training_forward",
+                        num_layers=train_config.num_layers,
+                    )
+                    for row in compare_policies(workload, system, train_config):
+                        row["topology"] = topology
+                        row["hbm_bandwidth_GBps"] = hbm_gbps
+                        row["noc_bandwidth_TBps"] = noc_tbps
+                        row["available_tflops"] = tflops
+                        rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5: execution time vs execution space for representative operators.
+# --------------------------------------------------------------------------- #
+def execution_space_profile(
+    models: Sequence[str] = ("llama2-13b", "gemma2-27b", "opt-30b"),
+    labels: Sequence[str] = ("Attention_QKV", "Attention_Head", "Layer_Norm", "Output_FFN"),
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> list[dict[str, object]]:
+    """Pareto points (execution space, execution time) of representative operators."""
+    system = ipu_pod4()
+    rows: list[dict[str, object]] = []
+    for model in models:
+        workload = WorkloadSpec(
+            model, batch_size=config.batch_size, seq_len=config.seq_len, num_layers=1
+        )
+        compiler = _compiler_for(workload, system, config)
+        graph = compiler.frontend.per_chip_graph
+        cost_model = AnalyticCostModel(compiler.chip)
+        seen_labels: set[str] = set()
+        for op in graph:
+            if op.label not in labels or op.label in seen_labels:
+                continue
+            seen_labels.add(op.label)
+            plans = enumerate_execute_plans(op, compiler.chip)
+            frontier = frontier_from_plans(
+                plans,
+                memory_of=lambda p: p.exec_space_bytes,
+                time_of=lambda p: cost_model.execution_cost(op, p).total_time,
+            )
+            for point in frontier:
+                rows.append(
+                    {
+                        "model": model,
+                        "operator": op.label,
+                        "op_name": op.name,
+                        "exec_space_KB": point.memory_bytes / KiB,
+                        "exec_time_us": point.time_seconds * 1e6,
+                    }
+                )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6: HBM bandwidth demand vs per-core preload space.
+# --------------------------------------------------------------------------- #
+def preload_space_hbm_demand(
+    models: Sequence[str] = ("llama2-13b", "gemma2-27b", "opt-30b"),
+    preload_space_kib: Sequence[int] = (128, 256, 384),
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> list[dict[str, object]]:
+    """HBM bandwidth demand statistics for different fixed preload spaces."""
+    system = ipu_pod4()
+    rows: list[dict[str, object]] = []
+    for model in models:
+        workload = WorkloadSpec(
+            model,
+            batch_size=config.batch_size,
+            seq_len=config.seq_len,
+            num_layers=config.num_layers,
+        )
+        compiler = _compiler_for(workload, system, config)
+        evaluator = TimelineEvaluator(
+            compiler.chip, total_flops=compiler.frontend.per_chip_graph.total_flops
+        )
+        budget = compiler.chip.per_core_usable_sram
+        for space_kib in preload_space_kib:
+            fraction = min(0.9, (space_kib * KiB) / budget)
+            static = StaticCompiler(
+                compiler.profiles,
+                compiler.cost_model,
+                compiler.chip,
+                total_flops=compiler.frontend.per_chip_graph.total_flops,
+                options=StaticOptions(preload_fractions=(fraction,)),
+            )
+            plan, _ = static.plan(model_name=model)
+            timeline = evaluator.evaluate(plan)
+            trace = hbm_demand_trace(timeline, label=f"{space_kib}KB")
+            rows.append(
+                {
+                    "model": model,
+                    "preload_space_KB": space_kib,
+                    "mean_demand_TBps": trace.mean / 1e12,
+                    "peak_demand_TBps": trace.peak / 1e12,
+                    "demand_cv": trace.coefficient_of_variation,
+                    "latency_ms": timeline.total_time * 1e3,
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figures 7/8: inter-core bandwidth demand, MinPreload vs MaxPreload.
+# --------------------------------------------------------------------------- #
+def min_max_preload_demand(
+    models: Sequence[str] = ("llama2-13b", "gemma2-27b", "opt-30b"),
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> list[dict[str, object]]:
+    """Inter-core and total NoC demand for MinPreload vs MaxPreload plans."""
+    system = ipu_pod4()
+    rows: list[dict[str, object]] = []
+    for model in models:
+        workload = WorkloadSpec(
+            model,
+            batch_size=config.batch_size,
+            seq_len=config.seq_len,
+            num_layers=config.num_layers,
+        )
+        compiler = _compiler_for(workload, system, config)
+        evaluator = TimelineEvaluator(
+            compiler.chip, total_flops=compiler.frontend.per_chip_graph.total_flops
+        )
+        for mode, use_max in (("MinPreload", False), ("MaxPreload", True)):
+            static = StaticCompiler(
+                compiler.profiles,
+                compiler.cost_model,
+                compiler.chip,
+                total_flops=compiler.frontend.per_chip_graph.total_flops,
+                options=StaticOptions(preload_fractions=(0.5,)),
+            )
+            plan = static._build_plan(0.5, use_max, model)
+            timeline = evaluator.evaluate(plan)
+            intercore = intercore_demand_trace(timeline, label=mode, include_preload=False)
+            total = intercore_demand_trace(timeline, label=mode, include_preload=True)
+            rows.append(
+                {
+                    "model": model,
+                    "mode": mode,
+                    "intercore_mean_GBps": intercore.mean / 1e9,
+                    "intercore_peak_GBps": intercore.peak / 1e9,
+                    "total_mean_GBps": total.mean / 1e9,
+                    "total_peak_GBps": total.peak / 1e9,
+                    "total_cv": total.coefficient_of_variation,
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 12: cost-model accuracy.
+# --------------------------------------------------------------------------- #
+def cost_model_accuracy(
+    samples_per_op: int = 120, seed: int = 7
+) -> list[dict[str, object]]:
+    """Predicted-vs-measured accuracy of the fitted linear-tree cost model."""
+    chip = ipu_pod4().chip
+    fitted = FittedCostModel(chip, samples_per_op=200, seed=seed)
+    rows = []
+    for report in fitted.accuracy_reports(samples_per_op=samples_per_op, seed=seed + 1):
+        rows.append(
+            {
+                "target": report.name,
+                "samples": len(report.measured),
+                "mape_percent": report.mean_absolute_percentage_error,
+                "r_squared": report.r_squared,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 16: compile time vs model / batch size.
+# --------------------------------------------------------------------------- #
+def compile_time_report(
+    models: Sequence[str] = PAPER_LLM_NAMES,
+    batch_sizes: Sequence[int] = (2, 8, 32, 64),
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> list[dict[str, object]]:
+    """Elk-Full compile time for varied models and batch sizes."""
+    system = ipu_pod4()
+    rows: list[dict[str, object]] = []
+    for model in models:
+        for batch in batch_sizes:
+            workload = WorkloadSpec(
+                model, batch_size=batch, seq_len=config.seq_len, num_layers=config.num_layers
+            )
+            compiler = _compiler_for(workload, system, config)
+            started = time.perf_counter()
+            result = compiler.compile("elk-full")
+            elapsed = time.perf_counter() - started
+            layers = get_config(model).num_layers if not model.startswith("tiny") else config.num_layers
+            scale = layers / max(1, config.num_layers)
+            rows.append(
+                {
+                    "model": model,
+                    "batch_size": batch,
+                    "layers_compiled": config.num_layers,
+                    "compile_seconds": elapsed,
+                    "projected_full_model_seconds": elapsed * scale,
+                    "orders_evaluated": result.search_stats.num_candidate_orders
+                    if result.search_stats
+                    else 1,
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Table 2: model / search-space statistics.
+# --------------------------------------------------------------------------- #
+def model_stats_table(
+    models: Sequence[str] = PAPER_LLM_NAMES + ("dit-xl",),
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> list[dict[str, object]]:
+    """The C / H / P / K / N factors of Table 2 for every evaluation model."""
+    system = ipu_pod4()
+    rows: list[dict[str, object]] = []
+    for model in models:
+        is_dit = model.startswith("dit") or model.startswith("tiny-dit")
+        workload = WorkloadSpec(
+            model,
+            batch_size=config.batch_size if not is_dit else 8,
+            seq_len=config.seq_len,
+            num_layers=config.num_layers,
+        )
+        compiler = _compiler_for(workload, system, config)
+        scheduler_stats = compiler.compile("elk-full").search_stats
+        model_config = get_config(model)
+        full_layers = model_config.num_layers
+        ops_per_layer = (
+            len(compiler.frontend.per_chip_graph) / max(1, config.num_layers)
+        )
+        rows.append(
+            {
+                "model": model,
+                "C_heavy_on_chip": scheduler_stats.max_heavy_on_chip if scheduler_stats else 0,
+                "H_heavy_per_layer": scheduler_stats.heavy_per_layer if scheduler_stats else 0,
+                "P_max_plans": scheduler_stats.max_plans_per_operator if scheduler_stats else 0,
+                "K_ops_on_chip": scheduler_stats.max_operators_on_chip if scheduler_stats else 0,
+                "N_total_ops_full_model": int(ops_per_layer * full_layers),
+                "N_ops_compiled": scheduler_stats.num_operators if scheduler_stats else 0,
+            }
+        )
+    return rows

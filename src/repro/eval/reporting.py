@@ -1,0 +1,71 @@
+"""Result tables: formatting and persistence for the benchmark harness."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Format result rows as an aligned text table.
+
+    Args:
+        rows: Result dictionaries (one per table row).
+        columns: Column order (defaults to the keys of the first row).
+
+    Returns:
+        The formatted table as a string (empty string for no rows).
+    """
+    rows = list(rows)
+    if not rows:
+        return ""
+    columns = list(columns) if columns else list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    widths = {
+        column: max(len(column), *(len(render(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(
+            "  ".join(render(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def save_results(
+    rows: Sequence[Mapping[str, object]],
+    path: str,
+    title: str = "",
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Write rows as a text table plus a JSON sidecar; return the table text."""
+    table = format_table(rows, columns)
+    text = f"# {title}\n{table}\n" if title else table + "\n"
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    with open(os.path.splitext(path)[0] + ".json", "w", encoding="utf-8") as handle:
+        json.dump(list(rows), handle, indent=2, default=str)
+    return text
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0 if empty)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

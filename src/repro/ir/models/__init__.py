@@ -1,0 +1,44 @@
+"""Model zoo: programmatic graph builders for the paper's evaluation models."""
+
+from repro.ir.models.config import (
+    DIT_XL,
+    GEMMA2_27B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    OPT_30B,
+    DiTConfig,
+    TransformerConfig,
+)
+from repro.ir.models.dit import build_dit_graph
+from repro.ir.models.registry import (
+    PAPER_LLM_NAMES,
+    PAPER_MODEL_NAMES,
+    TINY_DIT,
+    TINY_GQA,
+    TINY_LLM,
+    available_models,
+    build_model,
+    get_config,
+)
+from repro.ir.models.transformer import build_decode_graph, build_prefill_graph
+
+__all__ = [
+    "DIT_XL",
+    "GEMMA2_27B",
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "OPT_30B",
+    "DiTConfig",
+    "TransformerConfig",
+    "TINY_DIT",
+    "TINY_GQA",
+    "TINY_LLM",
+    "PAPER_LLM_NAMES",
+    "PAPER_MODEL_NAMES",
+    "available_models",
+    "build_model",
+    "get_config",
+    "build_decode_graph",
+    "build_prefill_graph",
+    "build_dit_graph",
+]

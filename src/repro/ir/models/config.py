@@ -1,0 +1,217 @@
+"""Model architecture configurations for the model zoo.
+
+The compiler only needs operator types and tensor shapes, which are fully
+determined by the public architecture hyper-parameters of each model.  The
+configurations below use the published values for the models evaluated in the
+paper (Table 2): Llama2-13B, Gemma2-27B, OPT-30B, Llama2-70B, and DiT-XL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.ir.dtypes import FP16, DType
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Decoder-only transformer architecture description.
+
+    Attributes:
+        name: Model name used in reports.
+        hidden_size: Model (embedding) dimension.
+        num_layers: Number of decoder layers.
+        num_heads: Number of query attention heads.
+        num_kv_heads: Number of key/value heads (``< num_heads`` for GQA).
+        head_dim: Per-head dimension (defaults to ``hidden_size // num_heads``).
+        ffn_dim: Feed-forward inner dimension.
+        vocab_size: Vocabulary size (drives the LM head / embedding sizes).
+        gated_ffn: Whether the FFN uses a gated activation (SwiGLU/GeGLU —
+            two up projections) as in Llama/Gemma, vs a single up projection
+            with ReLU/GELU as in OPT.
+        norm_type: ``"rms_norm"`` (Llama/Gemma) or ``"layer_norm"`` (OPT).
+        dtype: Parameter / activation dtype.
+    """
+
+    name: str
+    hidden_size: int
+    num_layers: int
+    num_heads: int
+    num_kv_heads: int
+    ffn_dim: int
+    vocab_size: int
+    head_dim: int = 0
+    gated_ffn: bool = True
+    norm_type: str = "rms_norm"
+    dtype: DType = FP16
+
+    def __post_init__(self) -> None:
+        if self.hidden_size <= 0 or self.num_layers <= 0:
+            raise ConfigurationError(f"{self.name}: sizes must be positive")
+        if self.num_heads <= 0 or self.num_kv_heads <= 0:
+            raise ConfigurationError(f"{self.name}: head counts must be positive")
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ConfigurationError(
+                f"{self.name}: num_heads ({self.num_heads}) must be a multiple of "
+                f"num_kv_heads ({self.num_kv_heads})"
+            )
+        if self.head_dim == 0:
+            object.__setattr__(self, "head_dim", self.hidden_size // self.num_heads)
+        if self.norm_type not in ("rms_norm", "layer_norm"):
+            raise ConfigurationError(f"{self.name}: unknown norm {self.norm_type!r}")
+
+    @property
+    def uses_gqa(self) -> bool:
+        """Whether the model uses grouped-query attention."""
+        return self.num_kv_heads < self.num_heads
+
+    @property
+    def q_dim(self) -> int:
+        """Total query projection width."""
+        return self.num_heads * self.head_dim
+
+    @property
+    def kv_dim(self) -> int:
+        """Total key (or value) projection width."""
+        return self.num_kv_heads * self.head_dim
+
+    @property
+    def qkv_dim(self) -> int:
+        """Width of the fused QKV projection."""
+        return self.q_dim + 2 * self.kv_dim
+
+    @property
+    def approx_param_count(self) -> int:
+        """Approximate parameter count (attention + FFN + embeddings)."""
+        attn = self.hidden_size * self.qkv_dim + self.q_dim * self.hidden_size
+        ffn_mults = 3 if self.gated_ffn else 2
+        ffn = ffn_mults * self.hidden_size * self.ffn_dim
+        per_layer = attn + ffn
+        embeddings = 2 * self.vocab_size * self.hidden_size
+        return per_layer * self.num_layers + embeddings
+
+    def scaled(self, num_layers: int, name: str | None = None) -> "TransformerConfig":
+        """Return a copy with fewer layers, for laptop-scale experiments."""
+        if num_layers <= 0:
+            raise ConfigurationError("num_layers must be positive")
+        return replace(self, num_layers=num_layers, name=name or f"{self.name}-l{num_layers}")
+
+
+@dataclass(frozen=True)
+class DiTConfig:
+    """Diffusion-transformer (DiT) architecture description.
+
+    Attributes:
+        name: Model name.
+        hidden_size: Token embedding width.
+        num_layers: Number of DiT blocks.
+        num_heads: Attention heads.
+        mlp_ratio: FFN expansion ratio.
+        input_size: Latent spatial resolution (square).
+        patch_size: Patchification stride.
+        in_channels: Latent channels.
+        dtype: Parameter / activation dtype.
+    """
+
+    name: str
+    hidden_size: int
+    num_layers: int
+    num_heads: int
+    mlp_ratio: int = 4
+    input_size: int = 32
+    patch_size: int = 2
+    in_channels: int = 4
+    dtype: DType = FP16
+
+    def __post_init__(self) -> None:
+        if self.input_size % self.patch_size != 0:
+            raise ConfigurationError(
+                f"{self.name}: input_size must be divisible by patch_size"
+            )
+
+    @property
+    def num_tokens(self) -> int:
+        """Number of image tokens after patchification."""
+        return (self.input_size // self.patch_size) ** 2
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def ffn_dim(self) -> int:
+        """FFN inner dimension."""
+        return self.hidden_size * self.mlp_ratio
+
+    def scaled(self, num_layers: int, name: str | None = None) -> "DiTConfig":
+        """Return a copy with fewer blocks, for laptop-scale experiments."""
+        if num_layers <= 0:
+            raise ConfigurationError("num_layers must be positive")
+        return DiTConfig(
+            name=name or f"{self.name}-l{num_layers}",
+            hidden_size=self.hidden_size,
+            num_layers=num_layers,
+            num_heads=self.num_heads,
+            mlp_ratio=self.mlp_ratio,
+            input_size=self.input_size,
+            patch_size=self.patch_size,
+            in_channels=self.in_channels,
+            dtype=self.dtype,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Published architecture hyper-parameters for the paper's models.
+# --------------------------------------------------------------------------- #
+
+LLAMA2_13B = TransformerConfig(
+    name="llama2-13b",
+    hidden_size=5120,
+    num_layers=40,
+    num_heads=40,
+    num_kv_heads=40,
+    ffn_dim=13824,
+    vocab_size=32000,
+)
+
+LLAMA2_70B = TransformerConfig(
+    name="llama2-70b",
+    hidden_size=8192,
+    num_layers=80,
+    num_heads=64,
+    num_kv_heads=8,
+    ffn_dim=28672,
+    vocab_size=32000,
+)
+
+GEMMA2_27B = TransformerConfig(
+    name="gemma2-27b",
+    hidden_size=4608,
+    num_layers=46,
+    num_heads=32,
+    num_kv_heads=16,
+    head_dim=128,
+    ffn_dim=36864,
+    vocab_size=256128,
+)
+
+OPT_30B = TransformerConfig(
+    name="opt-30b",
+    hidden_size=7168,
+    num_layers=48,
+    num_heads=56,
+    num_kv_heads=56,
+    ffn_dim=28672,
+    vocab_size=50272,
+    gated_ffn=False,
+    norm_type="layer_norm",
+)
+
+DIT_XL = DiTConfig(
+    name="dit-xl",
+    hidden_size=1152,
+    num_layers=28,
+    num_heads=16,
+)

@@ -1,0 +1,240 @@
+"""Diffusion-transformer (DiT) graph builder.
+
+DiT-XL is the compute-intensive workload of the paper (Fig. 23): a full
+self-attention transformer over image patch tokens with adaLN conditioning.
+Unlike LLM decoding there is no KV cache, so nearly all HBM traffic is model
+weights and the model is dominated by MatMul FLOPs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.ir.graph import GraphBuilder, OperatorGraph
+from repro.ir.models.config import DiTConfig
+from repro.ir.operators import (
+    make_batch_matmul,
+    make_elementwise,
+    make_matmul,
+    make_norm,
+    make_softmax,
+)
+from repro.ir.tensor import TensorSpec
+
+
+def build_dit_graph(
+    config: DiTConfig,
+    batch_size: int,
+    num_layers: int | None = None,
+) -> OperatorGraph:
+    """Build one denoising step of a DiT model.
+
+    Args:
+        config: Architecture description (e.g. :data:`~repro.ir.models.config.DIT_XL`).
+        batch_size: Number of images denoised per step.
+        num_layers: Optional override of ``config.num_layers`` for scaled runs.
+
+    Returns:
+        An :class:`OperatorGraph` with one span per DiT block.
+    """
+    if batch_size <= 0:
+        raise ConfigurationError("batch size must be positive")
+    layers = num_layers if num_layers is not None else config.num_layers
+    if layers <= 0 or layers > config.num_layers:
+        raise ConfigurationError(
+            f"num_layers must be in [1, {config.num_layers}], got {layers}"
+        )
+
+    tokens = batch_size * config.num_tokens
+    hidden_size = config.hidden_size
+    dtype = config.dtype
+
+    builder = GraphBuilder(
+        f"{config.name}-b{batch_size}",
+        metadata={
+            "model": config.name,
+            "phase": "diffusion_step",
+            "batch_size": batch_size,
+            "num_tokens": config.num_tokens,
+            "num_layers": layers,
+            "hidden_size": hidden_size,
+        },
+    )
+
+    # Patch embedding: a MatMul over flattened patches.
+    patch_dim = config.in_channels * config.patch_size**2
+    patches = TensorSpec("patches", (tokens, patch_dim), dtype, kind="input")
+    builder.begin_layer("patch_embed", template="patch_embed")
+    hidden = builder.add(
+        make_matmul(
+            "patch_embed",
+            patches,
+            TensorSpec("patch_embed.w", (patch_dim, hidden_size), dtype, "weight"),
+            label="Patch_Embed",
+        )
+    ).output
+    builder.end_layer()
+
+    for layer in range(layers):
+        prefix = f"block{layer}"
+        builder.begin_layer(prefix, template="dit_block")
+
+        # adaLN modulation: conditioning MLP producing scale/shift/gate terms.
+        modulation = builder.add(
+            make_matmul(
+                f"{prefix}.adaln",
+                TensorSpec(f"{prefix}.cond", (batch_size, hidden_size), dtype, "input"),
+                TensorSpec(
+                    f"{prefix}.adaln.w", (hidden_size, 6 * hidden_size), dtype, "weight"
+                ),
+                label="AdaLN",
+            )
+        ).output
+
+        norm1 = builder.add(
+            make_norm(
+                f"{prefix}.norm1",
+                hidden,
+                TensorSpec(f"{prefix}.norm1.w", (hidden_size,), dtype, "weight"),
+                norm_type="layer_norm",
+                label="Layer_Norm",
+            )
+        ).output
+        modulated1 = builder.add(
+            make_elementwise(
+                f"{prefix}.mod1", [norm1, modulation], function="scale_shift",
+                label="Modulate",
+            )
+        ).output
+
+        qkv = builder.add(
+            make_matmul(
+                f"{prefix}.attn.qkv",
+                modulated1,
+                TensorSpec(
+                    f"{prefix}.attn.qkv.w", (hidden_size, 3 * hidden_size), dtype, "weight"
+                ),
+                label="Attention_QKV",
+            )
+        ).output
+
+        q_view = TensorSpec(
+            qkv.name,
+            (batch_size, config.num_heads, config.num_tokens, config.head_dim),
+            dtype,
+        )
+        k_view = TensorSpec(
+            f"{prefix}.attn.k",
+            (batch_size, config.num_heads, config.head_dim, config.num_tokens),
+            dtype,
+        )
+        v_view = TensorSpec(
+            f"{prefix}.attn.v",
+            (batch_size, config.num_heads, config.num_tokens, config.head_dim),
+            dtype,
+        )
+        # Register the K/V views as outputs of the QKV projection by naming
+        # convention: they are activation tensors produced on-chip, so they
+        # do not add HBM traffic (they share the qkv output buffer).
+        scores = builder.add(
+            make_batch_matmul(f"{prefix}.attn.scores", q_view, k_view, label="Attention_Head")
+        ).output
+        probs = builder.add(
+            make_softmax(f"{prefix}.attn.softmax", scores, label="Softmax")
+        ).output
+        context = builder.add(
+            make_batch_matmul(f"{prefix}.attn.context", probs, v_view, label="Attention_Head")
+        ).output
+        context_flat = TensorSpec(context.name, (tokens, hidden_size), dtype)
+
+        attn_out = builder.add(
+            make_matmul(
+                f"{prefix}.attn.out_proj",
+                context_flat,
+                TensorSpec(
+                    f"{prefix}.attn.out_proj.w", (hidden_size, hidden_size), dtype, "weight"
+                ),
+                label="Output_Proj",
+            )
+        ).output
+        hidden = builder.add(
+            make_elementwise(
+                f"{prefix}.attn.residual", [hidden, attn_out], function="add",
+                label="Residual",
+            )
+        ).output
+
+        norm2 = builder.add(
+            make_norm(
+                f"{prefix}.norm2",
+                hidden,
+                TensorSpec(f"{prefix}.norm2.w", (hidden_size,), dtype, "weight"),
+                norm_type="layer_norm",
+                label="Layer_Norm",
+            )
+        ).output
+        modulated2 = builder.add(
+            make_elementwise(
+                f"{prefix}.mod2", [norm2, modulation], function="scale_shift",
+                label="Modulate",
+            )
+        ).output
+        ffn_up = builder.add(
+            make_matmul(
+                f"{prefix}.mlp.up",
+                modulated2,
+                TensorSpec(
+                    f"{prefix}.mlp.up.w", (hidden_size, config.ffn_dim), dtype, "weight"
+                ),
+                label="FFN_Up",
+            )
+        ).output
+        ffn_act = builder.add(
+            make_elementwise(
+                f"{prefix}.mlp.act", [ffn_up], function="gelu", label="Activation"
+            )
+        ).output
+        ffn_down = builder.add(
+            make_matmul(
+                f"{prefix}.mlp.down",
+                ffn_act,
+                TensorSpec(
+                    f"{prefix}.mlp.down.w", (config.ffn_dim, hidden_size), dtype, "weight"
+                ),
+                label="Output_FFN",
+            )
+        ).output
+        hidden = builder.add(
+            make_elementwise(
+                f"{prefix}.mlp.residual", [hidden, ffn_down], function="add",
+                label="Residual",
+            )
+        ).output
+        builder.end_layer()
+
+    # Final layer: norm + linear back to patch pixels.
+    builder.begin_layer("final_layer", template="final_layer")
+    final_norm = builder.add(
+        make_norm(
+            "final.norm",
+            hidden,
+            TensorSpec("final.norm.w", (hidden_size,), dtype, "weight"),
+            norm_type="layer_norm",
+            label="Layer_Norm",
+        )
+    ).output
+    builder.add(
+        make_matmul(
+            "final.proj",
+            final_norm,
+            TensorSpec(
+                "final.proj.w",
+                (hidden_size, patch_dim * 2),
+                dtype,
+                "weight",
+            ),
+            label="Final_Proj",
+        )
+    )
+    builder.end_layer()
+
+    return builder.build()

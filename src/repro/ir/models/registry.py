@@ -1,0 +1,137 @@
+"""Model registry: build any of the paper's evaluation models by name.
+
+The registry exposes the five models of Table 2 plus a small synthetic
+transformer (``tiny-llm``) used by tests and quick examples.  Every builder
+accepts ``num_layers`` so experiments can run on a representative number of
+identical layers and extrapolate, exactly as the paper's preload-order reuse
+across identical layers allows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.ir.graph import OperatorGraph
+from repro.ir.models.config import (
+    DIT_XL,
+    GEMMA2_27B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    OPT_30B,
+    DiTConfig,
+    TransformerConfig,
+)
+from repro.ir.models.dit import build_dit_graph
+from repro.ir.models.transformer import build_decode_graph, build_prefill_graph
+
+#: A small LLM configuration for tests / quickstart examples.
+TINY_LLM = TransformerConfig(
+    name="tiny-llm",
+    hidden_size=512,
+    num_layers=4,
+    num_heads=8,
+    num_kv_heads=8,
+    ffn_dim=1376,
+    vocab_size=4096,
+)
+
+#: A small GQA LLM configuration for tests.
+TINY_GQA = TransformerConfig(
+    name="tiny-gqa",
+    hidden_size=512,
+    num_layers=4,
+    num_heads=8,
+    num_kv_heads=2,
+    ffn_dim=1376,
+    vocab_size=4096,
+)
+
+#: A small DiT configuration for tests.
+TINY_DIT = DiTConfig(
+    name="tiny-dit",
+    hidden_size=256,
+    num_layers=4,
+    num_heads=4,
+)
+
+TRANSFORMER_CONFIGS: dict[str, TransformerConfig] = {
+    "llama2-13b": LLAMA2_13B,
+    "gemma2-27b": GEMMA2_27B,
+    "opt-30b": OPT_30B,
+    "llama2-70b": LLAMA2_70B,
+    "tiny-llm": TINY_LLM,
+    "tiny-gqa": TINY_GQA,
+}
+
+DIT_CONFIGS: dict[str, DiTConfig] = {
+    "dit-xl": DIT_XL,
+    "tiny-dit": TINY_DIT,
+}
+
+#: The four LLMs of the paper's main evaluation (Figs. 17-22).
+PAPER_LLM_NAMES = ("llama2-13b", "gemma2-27b", "opt-30b", "llama2-70b")
+
+#: All five models of Table 2.
+PAPER_MODEL_NAMES = PAPER_LLM_NAMES + ("dit-xl",)
+
+
+def available_models() -> list[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(set(TRANSFORMER_CONFIGS) | set(DIT_CONFIGS))
+
+
+def get_config(name: str) -> TransformerConfig | DiTConfig:
+    """Return the architecture configuration for a registered model name."""
+    key = name.lower()
+    if key in TRANSFORMER_CONFIGS:
+        return TRANSFORMER_CONFIGS[key]
+    if key in DIT_CONFIGS:
+        return DIT_CONFIGS[key]
+    raise ConfigurationError(
+        f"unknown model {name!r}; available: {available_models()}"
+    )
+
+
+def build_model(
+    name: str,
+    batch_size: int = 32,
+    seq_len: int = 2048,
+    *,
+    phase: str = "decode",
+    num_layers: int | None = None,
+    include_lm_head: bool = True,
+) -> OperatorGraph:
+    """Build the operator graph of a registered model.
+
+    Args:
+        name: One of :func:`available_models`.
+        batch_size: Concurrent requests (LLMs) or images (DiT).
+        seq_len: KV-cache / sequence length (ignored for DiT).
+        phase: ``"decode"`` (LLM token generation), ``"prefill"`` (also used as
+            the training forward pass), or ``"diffusion_step"`` for DiT models.
+        num_layers: Optional layer-count override for scaled experiments.
+        include_lm_head: Whether LLM graphs include the vocabulary projection.
+
+    Returns:
+        The operator graph in execution order with per-layer spans.
+    """
+    key = name.lower()
+    if key in DIT_CONFIGS:
+        return build_dit_graph(DIT_CONFIGS[key], batch_size, num_layers=num_layers)
+    if key not in TRANSFORMER_CONFIGS:
+        raise ConfigurationError(
+            f"unknown model {name!r}; available: {available_models()}"
+        )
+    config = TRANSFORMER_CONFIGS[key]
+    if phase == "decode":
+        return build_decode_graph(
+            config, batch_size, seq_len, num_layers=num_layers,
+            include_lm_head=include_lm_head,
+        )
+    if phase in ("prefill", "training_forward"):
+        return build_prefill_graph(
+            config, batch_size, seq_len, num_layers=num_layers,
+            include_lm_head=include_lm_head,
+        )
+    raise ConfigurationError(f"unknown phase {phase!r}")

@@ -1,0 +1,30 @@
+"""Operator partitioning: execute-state / preload-state plans and Pareto frontiers."""
+
+from repro.partition.enumerate import EnumerationLimits, enumerate_execute_plans
+from repro.partition.pareto import (
+    ParetoPoint,
+    frontier_from_plans,
+    next_smaller,
+    pareto_frontier,
+)
+from repro.partition.plan import (
+    ExecutePlan,
+    OperandShard,
+    PreloadPlan,
+    build_preload_plan,
+    enumerate_preload_plans,
+)
+
+__all__ = [
+    "EnumerationLimits",
+    "enumerate_execute_plans",
+    "ParetoPoint",
+    "frontier_from_plans",
+    "next_smaller",
+    "pareto_frontier",
+    "ExecutePlan",
+    "OperandShard",
+    "PreloadPlan",
+    "build_preload_plan",
+    "enumerate_preload_plans",
+]

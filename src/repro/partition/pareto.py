@@ -1,0 +1,83 @@
+"""Pareto-frontier utilities for memory/time trade-off plans.
+
+Elk keeps only Pareto-optimal plans per operator (§4.3): a plan survives if no
+other plan is both at least as fast and at least as small.  The allocator then
+walks the frontier from the fastest (largest) plan towards smaller plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ParetoPoint(Generic[T]):
+    """A plan annotated with its memory footprint and time cost.
+
+    Attributes:
+        memory_bytes: Per-core SRAM footprint of the plan.
+        time_seconds: Time cost of the plan (execution or distribution time).
+        plan: The underlying plan object.
+    """
+
+    memory_bytes: int
+    time_seconds: float
+    plan: T
+
+
+def pareto_frontier(points: Iterable[ParetoPoint[T]]) -> list[ParetoPoint[T]]:
+    """Return the Pareto-optimal points, sorted by decreasing memory.
+
+    A point is kept if no other point has both ``memory_bytes <=`` and
+    ``time_seconds <=`` (with at least one strict).  Ties on both axes keep a
+    single representative.
+
+    The returned list is ordered from the largest-memory (fastest) plan to the
+    smallest-memory (slowest) plan, which is the order the §4.3 greedy
+    allocator walks.
+    """
+    ordered = sorted(points, key=lambda p: (p.memory_bytes, p.time_seconds))
+    frontier_reversed: list[ParetoPoint[T]] = []
+    best_time = float("inf")
+    for point in ordered:
+        if point.time_seconds < best_time - 1e-15:
+            frontier_reversed.append(point)
+            best_time = point.time_seconds
+    # ``ordered`` goes from small to large memory; walking it keeps, for each
+    # memory size, only points that are faster than every smaller plan.  The
+    # frontier is returned largest-memory-first.
+    return list(reversed(frontier_reversed))
+
+
+def frontier_from_plans(
+    plans: Sequence[T],
+    memory_of: Callable[[T], int],
+    time_of: Callable[[T], float],
+) -> list[ParetoPoint[T]]:
+    """Build and filter Pareto points from raw plans.
+
+    Args:
+        plans: Candidate plans.
+        memory_of: Function extracting the per-core memory footprint of a plan.
+        time_of: Function extracting the time cost of a plan.
+
+    Returns:
+        The Pareto frontier ordered from largest/fastest to smallest/slowest.
+    """
+    points = [
+        ParetoPoint(memory_bytes=memory_of(plan), time_seconds=time_of(plan), plan=plan)
+        for plan in plans
+    ]
+    return pareto_frontier(points)
+
+
+def next_smaller(
+    frontier: Sequence[ParetoPoint[T]], current_index: int
+) -> ParetoPoint[T] | None:
+    """Return the next plan down the frontier (smaller memory), if any."""
+    if current_index + 1 < len(frontier):
+        return frontier[current_index + 1]
+    return None

@@ -1,0 +1,51 @@
+"""The Elk scheduler: the paper's core contribution (§4).
+
+* :mod:`repro.scheduler.profiles` — per-operator Pareto frontiers of execute /
+  preload plans.
+* :mod:`repro.scheduler.allocation` — cost-aware on-chip memory allocation (§4.3).
+* :mod:`repro.scheduler.inductive` — two-level inductive operator scheduling (§4.2).
+* :mod:`repro.scheduler.preload_order` — preload-order permutation (§4.4).
+* :mod:`repro.scheduler.timeline` — forward performance estimation of a plan.
+* :mod:`repro.scheduler.elk` — the end-to-end pipeline of Fig. 9.
+"""
+
+from repro.scheduler.allocation import AllocationResult, MemoryAllocator, PreloadAssignment
+from repro.scheduler.elk import ElkOptions, ElkScheduler, ScheduleOutcome
+from repro.scheduler.inductive import InductiveScheduler, SchedulerOptions
+from repro.scheduler.plan import ExecutionPlan, OperatorSchedule, make_schedule
+from repro.scheduler.preload_order import (
+    OrderSearchConfig,
+    OrderSearchStats,
+    PreloadOrderGenerator,
+)
+from repro.scheduler.profiles import (
+    ExecuteOption,
+    OperatorProfile,
+    PreloadOption,
+    build_operator_profiles,
+)
+from repro.scheduler.timeline import OperatorTiming, TimelineEvaluator, TimelineResult
+
+__all__ = [
+    "AllocationResult",
+    "MemoryAllocator",
+    "PreloadAssignment",
+    "ElkOptions",
+    "ElkScheduler",
+    "ScheduleOutcome",
+    "InductiveScheduler",
+    "SchedulerOptions",
+    "ExecutionPlan",
+    "OperatorSchedule",
+    "make_schedule",
+    "OrderSearchConfig",
+    "OrderSearchStats",
+    "PreloadOrderGenerator",
+    "ExecuteOption",
+    "OperatorProfile",
+    "PreloadOption",
+    "build_operator_profiles",
+    "OperatorTiming",
+    "TimelineEvaluator",
+    "TimelineResult",
+]

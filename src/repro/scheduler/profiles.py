@@ -1,0 +1,211 @@
+"""Per-operator planning profiles.
+
+Before scheduling, Elk enumerates every operator's execute-state plans, costs
+them, and keeps only the Pareto-optimal memory/time frontier (§4.3).  The
+scheduler and allocator then never touch raw plans again — they walk these
+frontiers.  Preload-state frontiers are derived lazily per chosen execute plan
+and cached, since the same execute plan is examined many times across preload
+numbers and candidate preload orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.arch.chip import ChipConfig
+from repro.cost.model import CostModel, ExecutionCost
+from repro.errors import SchedulingError
+from repro.ir.graph import OperatorGraph
+from repro.ir.operators import Operator
+from repro.partition.enumerate import EnumerationLimits, enumerate_execute_plans
+from repro.partition.pareto import frontier_from_plans
+from repro.partition.plan import ExecutePlan, PreloadPlan, enumerate_preload_plans
+
+
+@dataclass(frozen=True)
+class ExecuteOption:
+    """One point on an operator's execute-state Pareto frontier.
+
+    Attributes:
+        plan: The execute-state plan.
+        cost: Its execution-cost breakdown.
+        setup_overhead: The cheapest possible preload-side overhead of this
+            plan (distribution time plus interconnect delivery beyond the HBM
+            time).  Plans with heavily replicated working sets are fast to
+            execute but expensive to materialize; including that cost here is
+            what lets the frontier trade execution space against total
+            inter-core data movement (Table 1, execution-space row).
+    """
+
+    plan: ExecutePlan
+    cost: ExecutionCost
+    setup_overhead: float = 0.0
+
+    @property
+    def memory_bytes(self) -> int:
+        """Per-core execution-space footprint."""
+        return self.plan.exec_space_bytes
+
+    @property
+    def time_seconds(self) -> float:
+        """Time cost traded against memory: execution plus setup overhead."""
+        return self.cost.total_time + self.setup_overhead
+
+
+@dataclass(frozen=True)
+class PreloadOption:
+    """One point on a preload-state Pareto frontier.
+
+    Attributes:
+        plan: The preload-state plan.
+        distribution_time: Data-distribution time this plan incurs at execution
+            start.
+        noc_time: Interconnect time to deliver the preload to the cores.
+        hbm_time: HBM roofline time of the operator's unique bytes (delivery
+            slower than this serializes the preload engine beyond the HBM cost).
+    """
+
+    plan: PreloadPlan
+    distribution_time: float
+    noc_time: float
+    hbm_time: float = 0.0
+
+    @property
+    def memory_bytes(self) -> int:
+        """Per-core preload-space footprint."""
+        return self.plan.preload_space_bytes
+
+    @property
+    def overhead_time(self) -> float:
+        """Total time overhead of this preload-state plan.
+
+        The distribution phase delays the operator's execution start, and any
+        interconnect delivery slower than the HBM read stretches the preload
+        itself (broadcast amplification).  Both are paid somewhere on the
+        timeline, so the Pareto trade-off uses their sum.
+        """
+        return self.distribution_time + max(0.0, self.noc_time - self.hbm_time)
+
+    @property
+    def time_seconds(self) -> float:
+        """Time cost traded against memory in the Pareto frontier."""
+        return self.overhead_time
+
+
+@dataclass
+class OperatorProfile:
+    """All planning information of one operator.
+
+    Attributes:
+        index: Execution index of the operator in the model graph.
+        op: The operator.
+        execute_frontier: Pareto-optimal execute options, fastest (largest) first.
+        hbm_bytes: Unique bytes this operator loads from HBM.
+        hbm_time: Roofline HBM load time of those bytes.
+    """
+
+    index: int
+    op: Operator
+    execute_frontier: list[ExecuteOption]
+    hbm_bytes: int
+    hbm_time: float
+    _preload_cache: dict[int, list[PreloadOption]] = field(default_factory=dict)
+
+    @property
+    def fastest(self) -> ExecuteOption:
+        """The fastest (largest-memory) execute option."""
+        return self.execute_frontier[0]
+
+    @property
+    def smallest(self) -> ExecuteOption:
+        """The smallest-memory (slowest) execute option."""
+        return self.execute_frontier[-1]
+
+    @property
+    def num_plans(self) -> int:
+        """Number of Pareto-optimal execute plans (the paper's P factor)."""
+        return len(self.execute_frontier)
+
+    def preload_frontier(
+        self, execute_plan: ExecutePlan, cost_model: CostModel
+    ) -> list[PreloadOption]:
+        """Pareto-optimal preload options for a chosen execute plan.
+
+        Ordered from the largest preload space (MaxPreload — no distribution)
+        to the smallest (MinPreload — every core only gets its unique share).
+        """
+        key = id(execute_plan)
+        if key not in self._preload_cache:
+            raw = enumerate_preload_plans(execute_plan)
+            options = [
+                PreloadOption(
+                    plan=p,
+                    distribution_time=cost_model.distribution_time(p),
+                    noc_time=cost_model.preload_noc_time(p),
+                    hbm_time=self.hbm_time,
+                )
+                for p in raw
+            ]
+            frontier = frontier_from_plans(
+                options,
+                memory_of=lambda o: o.memory_bytes,
+                time_of=lambda o: o.time_seconds,
+            )
+            self._preload_cache[key] = [point.plan for point in frontier]
+        return self._preload_cache[key]
+
+
+def build_operator_profiles(
+    graph: OperatorGraph,
+    chip: ChipConfig,
+    cost_model: CostModel,
+    limits: EnumerationLimits | None = None,
+) -> list[OperatorProfile]:
+    """Enumerate, cost, and Pareto-filter every operator's execute plans.
+
+    Args:
+        graph: The model graph.
+        chip: Target chip (one chip's share of a model-parallel system).
+        cost_model: Cost model used for execution times and HBM roofline.
+        limits: Optional enumeration limits.
+
+    Returns:
+        One :class:`OperatorProfile` per operator, in execution order.
+
+    Raises:
+        SchedulingError: If any operator ends up with an empty frontier.
+    """
+    profiles: list[OperatorProfile] = []
+    for index, op in enumerate(graph):
+        plans = enumerate_execute_plans(op, chip, limits)
+        hbm_time = cost_model.hbm_load_time(op.hbm_load_bytes)
+        options = []
+        for plan in plans:
+            cost = cost_model.execution_cost(op, plan)
+            setup = min(
+                (
+                    cost_model.distribution_time(p)
+                    + max(0.0, cost_model.preload_noc_time(p) - hbm_time)
+                )
+                for p in enumerate_preload_plans(plan)
+            )
+            options.append(ExecuteOption(plan=plan, cost=cost, setup_overhead=setup))
+        frontier_points = frontier_from_plans(
+            options,
+            memory_of=lambda o: o.memory_bytes,
+            time_of=lambda o: o.time_seconds,
+        )
+        frontier = [point.plan for point in frontier_points]
+        if not frontier:
+            raise SchedulingError(f"operator {op.name!r} has an empty plan frontier")
+        profiles.append(
+            OperatorProfile(
+                index=index,
+                op=op,
+                execute_frontier=frontier,
+                hbm_bytes=op.hbm_load_bytes,
+                hbm_time=cost_model.hbm_load_time(op.hbm_load_bytes),
+            )
+        )
+    return profiles

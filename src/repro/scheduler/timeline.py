@@ -1,0 +1,346 @@
+"""Forward timeline evaluation of an execution plan.
+
+The inductive scheduler plans backwards with estimated times; this module
+replays a finished :class:`~repro.scheduler.plan.ExecutionPlan` forwards and
+produces the quantities the paper reports: per-token latency, the Fig. 18a
+breakdown (preload-only, execute-only, overlapped, interconnect contention),
+HBM / interconnect utilization, achieved TFLOPS, and the time-series traces
+behind Figs. 6-8.
+
+The replay honours the §4.5 synchronization rules: preloads are issued
+sequentially in preload order; an operator's execution waits for the previous
+execution and for its own preload; and the preload of the operator *beyond*
+the current preload window waits for the current execution to finish (that is
+what the preload number encodes).  Interconnect contention between overlapped
+preload deliveries and execution-time data exchange is applied as a
+first-order correction; the event-driven simulator (:mod:`repro.sim`) models
+it per link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.arch.chip import ChipConfig
+from repro.errors import SimulationError
+from repro.scheduler.plan import ExecutionPlan
+
+
+@dataclass
+class OperatorTiming:
+    """Timestamps of one operator in the replayed timeline (seconds).
+
+    Attributes:
+        index: Execution index.
+        preload_start: When its HBM preload starts.
+        preload_end: When its HBM preload completes.
+        distribution_start: When its data-distribution phase starts.
+        exec_start: When per-core execution starts (after distribution).
+        exec_end: When per-core execution ends.
+        stall_before_exec: Idle time the cores spent waiting for this
+            operator's preload to finish.
+        contention_penalty: Extra time attributed to interconnect contention.
+    """
+
+    index: int
+    preload_start: float
+    preload_end: float
+    distribution_start: float
+    exec_start: float
+    exec_end: float
+    stall_before_exec: float
+    contention_penalty: float = 0.0
+
+    @property
+    def window(self) -> tuple[float, float]:
+        """The operator's on-chip busy window (distribution + execution)."""
+        return (self.distribution_start, self.exec_end)
+
+
+@dataclass
+class TimelineResult:
+    """Replayed timeline plus headline metrics.
+
+    Attributes:
+        plan: The evaluated execution plan.
+        timings: Per-operator timestamps.
+        total_time: End-to-end latency including contention penalties.
+        preload_only_time: Time where HBM was busy but the cores were idle.
+        execute_only_time: Time where cores were busy but HBM was idle.
+        overlapped_time: Time where preload and execution overlapped.
+        interconnect_time: Contention penalty total.
+        hbm_busy_time: Total time HBM was loading.
+        exec_busy_time: Total time cores were busy (distribution + execution).
+        hbm_utilization: Total HBM bytes / (total_time × chip HBM bandwidth).
+        noc_utilization: NoC bytes moved / (total_time × aggregate NoC bandwidth).
+        noc_preload_fraction: Fraction of NoC traffic that was preload delivery.
+        achieved_flops: Model FLOPs divided by total time.
+    """
+
+    plan: ExecutionPlan
+    timings: list[OperatorTiming]
+    total_time: float
+    preload_only_time: float
+    execute_only_time: float
+    overlapped_time: float
+    interconnect_time: float
+    hbm_busy_time: float
+    exec_busy_time: float
+    hbm_utilization: float
+    noc_utilization: float
+    noc_preload_fraction: float
+    achieved_flops: float
+
+    def breakdown(self) -> dict[str, float]:
+        """The Fig. 18a categories, summing to ``total_time``."""
+        return {
+            "preload": self.preload_only_time,
+            "execute": self.execute_only_time,
+            "overlapped": self.overlapped_time,
+            "interconnect": self.interconnect_time,
+        }
+
+
+class TimelineEvaluator:
+    """Forward replay of an execution plan on one chip.
+
+    Args:
+        chip: The chip the plan was compiled for (one chip's model-parallel share).
+        total_flops: FLOPs of the compiled (per-chip) graph, for TFLOPS reporting.
+    """
+
+    def __init__(self, chip: ChipConfig, total_flops: int = 0) -> None:
+        self.chip = chip
+        self.total_flops = total_flops
+
+    # ------------------------------------------------------------------ replay
+    def evaluate(self, plan: ExecutionPlan) -> TimelineResult:
+        """Replay ``plan`` and compute metrics."""
+        n = len(plan)
+        if n == 0:
+            raise SimulationError("cannot evaluate an empty plan")
+        order = list(plan.preload_order)
+        pos = [0] * n
+        for position, op_index in enumerate(order):
+            pos[op_index] = position
+
+        # q[i]: first preload position that may still be outstanding when
+        # operator i starts executing (same definition as the scheduler).
+        q = [0] * n
+        running = -1
+        for i in range(n):
+            running = max(running, pos[i])
+            q[i] = running + 1
+        # Preload position m may only start once every operator i with
+        # q[i] + preload_number[i] <= m has finished executing.
+        gate_threshold = [q[i] + plan.schedules[i].preload_number for i in range(n)]
+
+        preload_end = [0.0] * n
+        preload_start = [0.0] * n
+        exec_end = [0.0] * n
+        timings: list[OperatorTiming] = []
+
+        hbm_free = 0.0
+        cores_free = 0.0
+        k = 0  # next preload position to issue
+
+        # suffix_min_gate[e]: smallest gate threshold among operators >= e.
+        suffix_min_gate = [n] * (n + 1)
+        for i in range(n - 1, -1, -1):
+            suffix_min_gate[i] = min(gate_threshold[i], suffix_min_gate[i + 1])
+
+        # gate_events[t]: executions that release preload positions >= t.
+        pending_gates: list[tuple[int, float]] = []
+        released_gate_time = 0.0
+
+        for e in range(n):
+            # Issue every preload whose gate is satisfied by completed executions.
+            limit = suffix_min_gate[e]
+            while k < n and k < limit:
+                op_index = order[k]
+                schedule = plan.schedules[op_index]
+                # A preload at position k must wait for every completed
+                # execution whose window ended before position k (§4.5 rule 1).
+                still_pending: list[tuple[int, float]] = []
+                for threshold, end_time in pending_gates:
+                    if threshold <= k:
+                        released_gate_time = max(released_gate_time, end_time)
+                    else:
+                        still_pending.append((threshold, end_time))
+                pending_gates = still_pending
+                start = max(hbm_free, released_gate_time)
+                duration = schedule.preload_time
+                preload_start[op_index] = start
+                preload_end[op_index] = start + duration
+                hbm_free = start + duration
+                k += 1
+
+            schedule = plan.schedules[e]
+            if pos[e] >= k:
+                raise SimulationError(
+                    f"operator {schedule.op_name!r} executes before its preload is "
+                    f"issued; the preload order is invalid"
+                )
+            ready = max(cores_free, preload_end[e])
+            stall = max(0.0, preload_end[e] - cores_free)
+            distribution_start = ready
+            exec_start = distribution_start + schedule.distribution_time
+            end = exec_start + schedule.execution_time
+            cores_free = end
+            exec_end[e] = end
+            pending_gates.append((gate_threshold[e], end))
+            timings.append(
+                OperatorTiming(
+                    index=e,
+                    preload_start=preload_start[e],
+                    preload_end=preload_end[e],
+                    distribution_start=distribution_start,
+                    exec_start=exec_start,
+                    exec_end=end,
+                    stall_before_exec=stall,
+                )
+            )
+
+        # Remaining preloads (if any) just extend the HBM busy interval.
+        while k < n:
+            op_index = order[k]
+            schedule = plan.schedules[op_index]
+            start = hbm_free
+            preload_start[op_index] = start
+            preload_end[op_index] = start + schedule.preload_time
+            hbm_free = preload_end[op_index]
+            k += 1
+
+        base_total = max(cores_free, hbm_free)
+        contention_total = self._apply_contention(plan, timings, preload_start, preload_end, order)
+        total_time = base_total + contention_total
+
+        return self._metrics(plan, timings, preload_start, preload_end, total_time, contention_total)
+
+    # ------------------------------------------------------------- contention
+    def _apply_contention(
+        self,
+        plan: ExecutionPlan,
+        timings: list[OperatorTiming],
+        preload_start: list[float],
+        preload_end: list[float],
+        order: list[int],
+    ) -> float:
+        """First-order interconnect contention correction.
+
+        For each execution window, the per-core inbound link carries the
+        operator's own exchange + distribution traffic plus the fraction of
+        every overlapping preload delivered during the window.  Any excess over
+        what the window can absorb at link bandwidth becomes a contention
+        penalty (categorized "interconnect" in Fig. 18a / Fig. 20).
+        """
+        link_bw = self.chip.core.link_bandwidth
+        if link_bw <= 0:
+            return 0.0
+        total_penalty = 0.0
+        for timing in timings:
+            schedule = plan.schedules[timing.index]
+            window_start, window_end = timing.window
+            window = window_end - window_start
+            if window <= 0:
+                continue
+            own_bytes = schedule.exchange_bytes + schedule.preload_plan.distribution_bytes_per_core
+            overlap_bytes = 0.0
+            for j in range(len(plan)):
+                if j == timing.index:
+                    continue
+                p_start, p_end = preload_start[j], preload_end[j]
+                if p_end <= window_start or p_start >= window_end:
+                    continue
+                p_duration = p_end - p_start
+                if p_duration <= 0:
+                    continue
+                overlap = min(p_end, window_end) - max(p_start, window_start)
+                fraction = overlap / p_duration
+                overlap_bytes += fraction * plan.schedules[j].preload_plan.preload_noc_bytes_per_core
+            demand_time = (own_bytes + overlap_bytes) / link_bw
+            penalty = max(0.0, demand_time - window)
+            timing.contention_penalty = penalty
+            total_penalty += penalty
+        return total_penalty
+
+    # ---------------------------------------------------------------- metrics
+    def _metrics(
+        self,
+        plan: ExecutionPlan,
+        timings: list[OperatorTiming],
+        preload_start: list[float],
+        preload_end: list[float],
+        total_time: float,
+        contention_total: float,
+    ) -> TimelineResult:
+        preload_intervals = [
+            (preload_start[i], preload_end[i])
+            for i in range(len(plan))
+            if preload_end[i] > preload_start[i]
+        ]
+        exec_intervals = [t.window for t in timings if t.exec_end > t.distribution_start]
+        hbm_busy = sum(end - start for start, end in preload_intervals)
+        exec_busy = sum(end - start for start, end in exec_intervals)
+        overlapped = _total_overlap(preload_intervals, exec_intervals)
+        preload_only = max(0.0, hbm_busy - overlapped)
+        execute_only = max(0.0, exec_busy - overlapped)
+
+        hbm_bytes = plan.total_hbm_bytes
+        hbm_util = (
+            hbm_bytes / (total_time * self.chip.hbm_bandwidth)
+            if total_time > 0 and self.chip.hbm_bandwidth > 0
+            else 0.0
+        )
+        preload_noc_bytes = sum(
+            s.preload_plan.preload_noc_bytes_per_core for s in plan.schedules
+        ) * self.chip.num_cores
+        exec_noc_bytes = sum(
+            (s.exchange_bytes + s.preload_plan.distribution_bytes_per_core)
+            for s in plan.schedules
+        ) * self.chip.num_cores
+        noc_capacity = total_time * self.chip.interconnect_bandwidth
+        noc_bytes = preload_noc_bytes + exec_noc_bytes
+        noc_util = min(1.0, noc_bytes / noc_capacity) if noc_capacity > 0 else 0.0
+        achieved = self.total_flops / total_time if total_time > 0 else 0.0
+
+        return TimelineResult(
+            plan=plan,
+            timings=timings,
+            total_time=total_time,
+            preload_only_time=preload_only,
+            execute_only_time=execute_only,
+            overlapped_time=overlapped,
+            interconnect_time=contention_total,
+            hbm_busy_time=hbm_busy,
+            exec_busy_time=exec_busy,
+            hbm_utilization=min(1.0, hbm_util),
+            noc_utilization=noc_util,
+            noc_preload_fraction=(
+                preload_noc_bytes / noc_bytes if noc_bytes > 0 else 0.0
+            ),
+            achieved_flops=achieved,
+        )
+
+
+def _total_overlap(
+    intervals_a: Sequence[tuple[float, float]],
+    intervals_b: Sequence[tuple[float, float]],
+) -> float:
+    """Total length of the intersection of two interval sets."""
+    events_a = sorted(intervals_a)
+    events_b = sorted(intervals_b)
+    total = 0.0
+    i = j = 0
+    while i < len(events_a) and j < len(events_b):
+        a_start, a_end = events_a[i]
+        b_start, b_end = events_b[j]
+        overlap = min(a_end, b_end) - max(a_start, b_start)
+        if overlap > 0:
+            total += overlap
+        if a_end <= b_end:
+            i += 1
+        else:
+            j += 1
+    return total

@@ -1,0 +1,16 @@
+"""Event-driven (flow-level) ICCA chip simulator for sensitivity analysis / DSE."""
+
+from repro.sim.chip_sim import ChipSimulator, SimulationResult
+from repro.sim.engine import FluidSimulator, Job
+from repro.sim.multichip import SystemSimulationResult, simulate_system
+from repro.sim.resources import Resource
+
+__all__ = [
+    "ChipSimulator",
+    "SimulationResult",
+    "FluidSimulator",
+    "Job",
+    "SystemSimulationResult",
+    "simulate_system",
+    "Resource",
+]

@@ -1,0 +1,260 @@
+"""Event-driven simulation of an execution plan on one ICCA chip.
+
+The simulator translates an :class:`~repro.scheduler.plan.ExecutionPlan` into
+jobs over the chip's shared resources (HBM channels, interconnect, a
+representative core's inbound port and SRAM port, and the compute pipelines)
+and runs the flow-level engine.  Because partitioning is homogeneous (every
+core receives equally sized tiles, §5), one representative core's port and
+pipeline capture per-core behaviour while the chip-wide pools capture the
+aggregate interconnect and HBM contention.
+
+Network topologies differ in how many link traversals each byte consumes: the
+all-to-all exchange delivers any byte in one hop, whereas the 2-D mesh pays
+the average hop count on the shared mesh bandwidth, making HBM delivery and
+inter-core exchange compete harder (§6.4, Figs. 19-22).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.chip import ChipConfig
+from repro.errors import SimulationError
+from repro.scheduler.plan import ExecutionPlan
+from repro.sim.engine import FluidSimulator, Job
+from repro.sim.resources import Resource
+
+
+@dataclass
+class SimulationResult:
+    """Measured metrics of one simulated plan (mirrors the timeline metrics).
+
+    Attributes:
+        plan: The simulated plan.
+        total_time: Makespan of the simulation.
+        preload_only_time: Time HBM was busy while the cores were idle.
+        execute_only_time: Time cores were busy while HBM was idle.
+        overlapped_time: Time both were busy.
+        interconnect_time: Extra time jobs spent due to interconnect sharing
+            (slowdown versus their uncontended durations).
+        hbm_utilization: HBM bytes served / (capacity × makespan).
+        noc_utilization: Interconnect bytes served / (capacity × makespan).
+        noc_preload_fraction: Fraction of interconnect traffic from preloads.
+        achieved_flops: Graph FLOPs divided by the makespan.
+        per_op_times: ``op index -> (preload_end, exec_end)``.
+    """
+
+    plan: ExecutionPlan
+    total_time: float
+    preload_only_time: float
+    execute_only_time: float
+    overlapped_time: float
+    interconnect_time: float
+    hbm_utilization: float
+    noc_utilization: float
+    noc_preload_fraction: float
+    achieved_flops: float
+    per_op_times: dict[int, tuple[float, float]]
+
+    def breakdown(self) -> dict[str, float]:
+        """Fig. 18a-style latency categories."""
+        return {
+            "preload": self.preload_only_time,
+            "execute": self.execute_only_time,
+            "overlapped": self.overlapped_time,
+            "interconnect": self.interconnect_time,
+        }
+
+
+class ChipSimulator:
+    """Simulates execution plans on one chip.
+
+    Args:
+        chip: Chip configuration (defines the resource pools).
+        total_flops: FLOPs of the simulated (per-chip) graph for reporting.
+    """
+
+    def __init__(self, chip: ChipConfig, total_flops: int = 0) -> None:
+        self.chip = chip
+        self.total_flops = total_flops
+        self.hops = chip.interconnect.average_hops(chip.num_cores)
+
+    # ---------------------------------------------------------------- resources
+    def _resources(self) -> dict[str, Resource]:
+        chip = self.chip
+        return {
+            "hbm": Resource("hbm", chip.hbm_bandwidth),
+            # Every byte on a mesh consumes ``hops`` link traversals, so the
+            # effective shared capacity is the aggregate divided by the hops.
+            "noc": Resource("noc", chip.interconnect_bandwidth / self.hops),
+            "core_port": Resource("core_port", chip.core.link_bandwidth),
+            "sram_port": Resource("sram_port", chip.core.sram_bandwidth),
+            "matmul_pipe": Resource("matmul_pipe", chip.core.matmul_flops),
+            "vector_pipe": Resource("vector_pipe", chip.core.vector_flops),
+        }
+
+    # --------------------------------------------------------------------- jobs
+    def _build_jobs(self, plan: ExecutionPlan, simulator: FluidSimulator) -> None:
+        n = len(plan)
+        order = list(plan.preload_order)
+        pos = [0] * n
+        for position, op_index in enumerate(order):
+            pos[op_index] = position
+        q = [0] * n
+        running = -1
+        for i in range(n):
+            running = max(running, pos[i])
+            q[i] = running + 1
+        gate_threshold = [q[i] + plan.schedules[i].preload_number for i in range(n)]
+
+        # Preload jobs, chained in preload order, gated by the §4.5 rules.
+        for position, op_index in enumerate(order):
+            schedule = plan.schedules[op_index]
+            preds: set[str] = set()
+            if position > 0:
+                preds.add(f"preload:{order[position - 1]}")
+            gating = [i for i in range(n) if gate_threshold[i] <= position]
+            if gating:
+                preds.add(f"execute:{max(gating)}")
+            delivered_per_core = schedule.preload_plan.preload_noc_bytes_per_core
+            delivered_total = delivered_per_core * schedule.execute_plan.cores_used
+            simulator.add_job(
+                Job(
+                    job_id=f"preload:{op_index}",
+                    demands={
+                        "hbm": float(schedule.hbm_bytes),
+                        "noc": float(delivered_total),
+                        "core_port": float(delivered_per_core),
+                    },
+                    predecessors=preds,
+                    min_duration=self.chip.hbm.access_latency,
+                    kind="preload",
+                    payload={"op": op_index},
+                )
+            )
+
+        # Distribution + execution jobs, chained in execution order.
+        for i in range(n):
+            schedule = plan.schedules[i]
+            execute_plan = schedule.execute_plan
+            dist_per_core = schedule.preload_plan.distribution_bytes_per_core
+            dist_preds = {f"preload:{i}"}
+            if i > 0:
+                dist_preds.add(f"execute:{i - 1}")
+            simulator.add_job(
+                Job(
+                    job_id=f"distribute:{i}",
+                    demands={
+                        "noc": float(dist_per_core * execute_plan.cores_used),
+                        "core_port": float(dist_per_core),
+                        "sram_port": float(dist_per_core),
+                    },
+                    predecessors=dist_preds,
+                    # The compiler's own distribution-time estimate is a floor:
+                    # contention can only make the phase slower.
+                    min_duration=schedule.distribution_time,
+                    kind="distribute",
+                    payload={"op": i},
+                )
+            )
+            exchange_per_core = execute_plan.exchange_bytes_per_core
+            pipe = "matmul_pipe" if _is_matmul(schedule) else "vector_pipe"
+            simulator.add_job(
+                Job(
+                    job_id=f"execute:{i}",
+                    demands={
+                        pipe: float(execute_plan.flops_per_core),
+                        "sram_port": float(
+                            execute_plan.sram_traffic_bytes + exchange_per_core
+                        ),
+                        "core_port": float(exchange_per_core),
+                        "noc": float(exchange_per_core * execute_plan.cores_used),
+                    },
+                    predecessors={f"distribute:{i}"},
+                    # The per-core execution-time estimate (which includes the
+                    # pipeline-efficiency derating for small tiles) is a floor;
+                    # the resource demands only add contention on top of it.
+                    min_duration=schedule.execution_time,
+                    kind="execute",
+                    payload={"op": i},
+                )
+            )
+
+    # ---------------------------------------------------------------------- run
+    def simulate(self, plan: ExecutionPlan) -> SimulationResult:
+        """Simulate ``plan`` and return measured metrics."""
+        if len(plan) == 0:
+            raise SimulationError("cannot simulate an empty plan")
+        resources = self._resources()
+        simulator = FluidSimulator(resources)
+        self._build_jobs(plan, simulator)
+        makespan = simulator.run()
+
+        preload_intervals = simulator.busy_intervals({"preload"})
+        exec_intervals = simulator.busy_intervals({"distribute", "execute"})
+        hbm_busy = sum(end - start for start, end in preload_intervals)
+        exec_busy = sum(end - start for start, end in exec_intervals)
+        overlapped = _interval_overlap(preload_intervals, exec_intervals)
+
+        # Interconnect slowdown: how much longer compute-side jobs took than
+        # they would have with exclusive resources.
+        contention = 0.0
+        for job in simulator.jobs.values():
+            if job.kind in ("execute", "distribute"):
+                actual = job.end_time - job.start_time
+                contention += max(0.0, actual - job.uncontended_duration(resources))
+
+        noc = resources["noc"]
+        hbm = resources["hbm"]
+        preload_noc_bytes = sum(
+            s.preload_plan.preload_noc_bytes_per_core * s.execute_plan.cores_used
+            for s in plan.schedules
+        )
+        per_op_times = {
+            i: (
+                simulator.jobs[f"preload:{i}"].end_time,
+                simulator.jobs[f"execute:{i}"].end_time,
+            )
+            for i in range(len(plan))
+        }
+        return SimulationResult(
+            plan=plan,
+            total_time=makespan,
+            preload_only_time=max(0.0, hbm_busy - overlapped),
+            execute_only_time=max(0.0, exec_busy - overlapped),
+            overlapped_time=overlapped,
+            interconnect_time=contention,
+            hbm_utilization=hbm.utilization(makespan),
+            noc_utilization=noc.utilization(makespan),
+            noc_preload_fraction=(
+                preload_noc_bytes / noc.served if noc.served > 0 else 0.0
+            ),
+            achieved_flops=self.total_flops / makespan if makespan > 0 else 0.0,
+            per_op_times=per_op_times,
+        )
+
+
+def _is_matmul(schedule) -> bool:
+    """Whether a schedule's operator runs on the MatMul pipeline."""
+    if schedule.op_type:
+        return schedule.op_type in ("matmul", "batch_matmul")
+    return schedule.execute_plan.reduction_split > 1
+
+
+def _interval_overlap(
+    intervals_a: list[tuple[float, float]], intervals_b: list[tuple[float, float]]
+) -> float:
+    """Total intersection length of two sorted, merged interval lists."""
+    total = 0.0
+    i = j = 0
+    while i < len(intervals_a) and j < len(intervals_b):
+        a_start, a_end = intervals_a[i]
+        b_start, b_end = intervals_b[j]
+        overlap = min(a_end, b_end) - max(a_start, b_start)
+        if overlap > 0:
+            total += overlap
+        if a_end <= b_end:
+            i += 1
+        else:
+            j += 1
+    return total

@@ -1,0 +1,56 @@
+"""Unit constants and small helpers used throughout the Elk reproduction.
+
+All byte quantities in the code base are plain ``int``/``float`` numbers of
+bytes, all times are seconds, all bandwidths are bytes/second, and all compute
+rates are FLOP/s unless a name explicitly says otherwise.  These constants
+keep the call sites readable (``4 * GB`` instead of ``4 * 1024 ** 3``).
+"""
+
+from __future__ import annotations
+
+# Binary byte units (memory capacities).
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+# Decimal byte units (bandwidths, as used in vendor datasheets).
+KB: int = 1000
+MB: int = 1000 * KB
+GB: int = 1000 * MB
+TB: int = 1000 * GB
+
+# Time units.
+US: float = 1e-6
+MS: float = 1e-3
+NS: float = 1e-9
+
+# Compute units.
+GFLOPS: float = 1e9
+TFLOPS: float = 1e12
+
+
+def bytes_to_mib(num_bytes: float) -> float:
+    """Convert a byte count to MiB for human-readable reporting."""
+    return num_bytes / MiB
+
+
+def bytes_to_gb(num_bytes: float) -> float:
+    """Convert a byte count to decimal GB for human-readable reporting."""
+    return num_bytes / GB
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MS
+
+
+def seconds_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds / US
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division, used pervasively for tile counts."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)

@@ -1,0 +1,118 @@
+"""Tests for the architecture models (cores, interconnect, HBM, chips, systems)."""
+
+import pytest
+
+from repro.arch import (
+    ALL_TO_ALL,
+    MESH_2D,
+    ChipConfig,
+    CoreConfig,
+    HBMConfig,
+    InterconnectConfig,
+    SystemConfig,
+    ipu_mk2_chip,
+    ipu_pod4,
+    mesh_pod4,
+    scaled_system,
+)
+from repro.errors import ArchitectureError
+from repro.units import GB, KiB, TB
+
+
+def test_ipu_mk2_matches_published_numbers():
+    chip = ipu_mk2_chip()
+    assert chip.num_cores == 1472
+    assert chip.core.sram_bytes == 624 * KiB
+    # ~896 MB of on-chip SRAM and ~8 TB/s all-to-all bandwidth (§2.1).
+    assert chip.total_sram_bytes == pytest.approx(896 * 1024 * KiB, rel=0.01)
+    assert chip.interconnect_bandwidth == pytest.approx(8 * TB, rel=0.05)
+
+
+def test_pod4_matches_paper_setup():
+    system = ipu_pod4()
+    assert system.num_chips == 4
+    assert system.total_cores == 5888
+    assert system.total_sram_bytes == pytest.approx(3.5 * 1024**3, rel=0.01)
+    assert system.total_hbm_bandwidth == pytest.approx(16 * TB, rel=0.01)
+    assert system.total_matmul_flops == pytest.approx(1000e12, rel=0.05)
+
+
+def test_core_config_validation():
+    with pytest.raises(ArchitectureError):
+        CoreConfig(sram_bytes=0)
+    with pytest.raises(ArchitectureError):
+        CoreConfig(reserved_bytes=10**9)
+    core = CoreConfig()
+    assert core.usable_sram_bytes == core.sram_bytes - core.reserved_bytes
+    assert core.flops_for(True) > core.flops_for(False)
+
+
+def test_core_scaling():
+    core = CoreConfig()
+    doubled = core.scaled_flops(2.0)
+    assert doubled.matmul_flops == pytest.approx(2 * core.matmul_flops)
+    with pytest.raises(ArchitectureError):
+        core.scaled_flops(0)
+
+
+def test_interconnect_topologies():
+    a2a = InterconnectConfig(topology=ALL_TO_ALL)
+    mesh = InterconnectConfig(topology=MESH_2D)
+    assert not a2a.is_mesh and mesh.is_mesh
+    assert a2a.average_hops(64) == 1.0
+    assert mesh.average_hops(64) > 1.0
+    rows, cols = mesh.grid_shape(64)
+    assert rows * cols == 64
+    with pytest.raises(ArchitectureError):
+        InterconnectConfig(topology="torus9d")
+
+
+def test_mesh_aggregate_bandwidth_below_all_to_all():
+    a2a = InterconnectConfig(topology=ALL_TO_ALL)
+    mesh = InterconnectConfig(topology=MESH_2D)
+    assert mesh.aggregate_bandwidth(256) < a2a.aggregate_bandwidth(256) * 4
+
+
+def test_hbm_configuration():
+    hbm = HBMConfig()
+    assert hbm.total_bandwidth == pytest.approx(4 * 1e12)
+    resized = hbm.with_total_bandwidth(2 * TB)
+    assert resized.total_bandwidth == pytest.approx(2 * TB)
+    with pytest.raises(ArchitectureError):
+        HBMConfig(num_modules=0)
+
+
+def test_chip_transforms():
+    chip = ipu_mk2_chip()
+    smaller = chip.with_num_cores(64)
+    assert smaller.num_cores == 64
+    assert smaller.total_sram_bytes < chip.total_sram_bytes
+    more_hbm = chip.with_hbm_bandwidth(8 * TB)
+    assert more_hbm.hbm_bandwidth == pytest.approx(8 * TB)
+
+
+def test_system_transforms_preserve_invariants():
+    system = ipu_pod4()
+    doubled = system.with_total_hbm_bandwidth(32 * TB)
+    assert doubled.total_hbm_bandwidth == pytest.approx(32 * TB)
+    noc = system.with_total_interconnect_bandwidth(48 * TB)
+    assert noc.total_interconnect_bandwidth == pytest.approx(48 * TB, rel=0.01)
+    flops = system.with_matmul_tflops(500)
+    assert flops.total_matmul_flops == pytest.approx(500e12, rel=0.01)
+
+
+def test_mesh_pod4_and_scaled_presets():
+    mesh = mesh_pod4()
+    assert mesh.chip.interconnect.is_mesh
+    scaled = scaled_system(num_cores=64)
+    assert scaled.total_cores == 64
+    # HBM scales at ~2.7 GB/s per core in the scaled preset.
+    assert scaled.total_hbm_bandwidth == pytest.approx(2.7 * GB * 64, rel=0.01)
+
+
+def test_system_validation():
+    chip = ipu_mk2_chip()
+    with pytest.raises(ArchitectureError):
+        SystemConfig("bad", chip, num_chips=0)
+    with pytest.raises(ArchitectureError):
+        SystemConfig("bad", chip, num_chips=2, parallelism="pipeline")

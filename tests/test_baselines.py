@@ -1,0 +1,84 @@
+"""Tests for the Basic, Static, and Ideal baseline designs."""
+
+import pytest
+
+from repro.baselines import BasicCompiler, IdealRoofline, StaticCompiler, StaticOptions
+from repro.scheduler import TimelineEvaluator
+
+
+@pytest.fixture(scope="module")
+def evaluator(small_chip, tiny_graph):
+    return TimelineEvaluator(small_chip, total_flops=tiny_graph.total_flops)
+
+
+def test_basic_plan_structure(tiny_profiles, small_cost_model, small_chip, tiny_graph):
+    plan = BasicCompiler(
+        tiny_profiles, small_cost_model, small_chip.per_core_usable_sram
+    ).plan(model_name="tiny")
+    plan.validate_against(tiny_graph)
+    assert plan.policy == "basic"
+    # Basic preloads at most the next operator.
+    assert all(s.preload_number <= 1 for s in plan.schedules)
+    # Basic maximizes the execution space: every operator uses its fastest plan.
+    for profile, schedule in zip(tiny_profiles, plan.schedules):
+        assert schedule.exec_space_bytes == profile.fastest.memory_bytes
+
+
+def test_static_plan_uses_fixed_split(tiny_profiles, small_cost_model, small_chip, tiny_graph):
+    compiler = StaticCompiler(
+        tiny_profiles,
+        small_cost_model,
+        small_chip,
+        total_flops=tiny_graph.total_flops,
+        options=StaticOptions(preload_fractions=(0.3, 0.5)),
+    )
+    plan, timeline = compiler.plan(model_name="tiny")
+    plan.validate_against(tiny_graph)
+    assert plan.policy == "static"
+    fraction = plan.metadata["preload_fraction"]
+    exec_budget = int(small_chip.per_core_usable_sram * (1 - fraction))
+    assert all(s.exec_space_bytes <= exec_budget for s in plan.schedules)
+    assert timeline.total_time > 0
+
+
+def test_static_preloads_multiple_operators(tiny_profiles, small_cost_model, small_chip, tiny_graph):
+    compiler = StaticCompiler(
+        tiny_profiles, small_cost_model, small_chip, total_flops=tiny_graph.total_flops
+    )
+    plan, _ = compiler.plan()
+    assert max(s.preload_number for s in plan.schedules) >= 1
+
+
+def test_ideal_is_a_lower_bound(
+    tiny_profiles, small_cost_model, small_chip, tiny_graph, evaluator
+):
+    ideal = IdealRoofline(
+        tiny_profiles, small_chip, small_cost_model, total_flops=tiny_graph.total_flops
+    ).estimate()
+    basic_plan = BasicCompiler(
+        tiny_profiles, small_cost_model, small_chip.per_core_usable_sram
+    ).plan()
+    basic_time = evaluator.evaluate(basic_plan).total_time
+    assert ideal.total_time <= basic_time * 1.001
+    assert ideal.total_time >= max(ideal.hbm_time, ideal.execute_time)
+    assert 0 <= ideal.hbm_utilization <= 1
+    breakdown = ideal.breakdown()
+    assert breakdown["interconnect"] == 0.0
+
+
+def test_policy_ordering_on_tiny_model(
+    tiny_profiles, small_cost_model, small_chip, tiny_graph, evaluator
+):
+    """Basic must not beat Static, and Static must not beat the Ideal roofline."""
+    basic_plan = BasicCompiler(
+        tiny_profiles, small_cost_model, small_chip.per_core_usable_sram
+    ).plan()
+    basic_time = evaluator.evaluate(basic_plan).total_time
+    _, static_timeline = StaticCompiler(
+        tiny_profiles, small_cost_model, small_chip, total_flops=tiny_graph.total_flops
+    ).plan()
+    ideal = IdealRoofline(
+        tiny_profiles, small_chip, small_cost_model, total_flops=tiny_graph.total_flops
+    ).estimate()
+    assert static_timeline.total_time <= basic_time * 1.05
+    assert ideal.total_time <= static_timeline.total_time * 1.001

@@ -1,0 +1,63 @@
+"""Tests for the HBM timing simulator (DRAMsim3 substitute)."""
+
+import pytest
+
+from repro.dram import HBM2E_TIMING, HBM3E_TIMING, HBMSimulator, TensorPlacer
+from repro.errors import SimulationError
+from repro.units import GiB, MiB
+
+
+def test_placer_is_sequential_and_bounded():
+    placer = TensorPlacer(capacity_bytes=1 * GiB)
+    first = placer.place("a", 100 * MiB)
+    second = placer.place("b", 200 * MiB)
+    assert first.address == 0
+    assert second.address == first.size_bytes
+    assert placer.used_bytes == 300 * MiB
+    with pytest.raises(SimulationError):
+        placer.place("too-big", 2 * GiB)
+    with pytest.raises(SimulationError):
+        placer.place("empty", 0)
+
+
+def test_large_tensor_streams_near_peak_bandwidth():
+    sim = HBMSimulator(HBM3E_TIMING, num_stacks=4)
+    placer = TensorPlacer(16 * GiB)
+    record = sim.load_tensor(placer.place("weights", 256 * MiB))
+    assert record.effective_bandwidth >= 0.7 * sim.peak_bandwidth
+    assert record.latency > 0
+    assert record.row_misses > 0
+
+
+def test_small_access_pays_fixed_latency():
+    sim = HBMSimulator(HBM3E_TIMING, num_stacks=4)
+    placer = TensorPlacer(1 * GiB)
+    small = sim.load_tensor(placer.place("small", 4096))
+    large = sim.load_tensor(placer.place("large", 64 * MiB))
+    assert small.effective_bandwidth < large.effective_bandwidth
+    assert small.latency >= HBM3E_TIMING.t_cas
+
+
+def test_latency_monotone_in_size():
+    sim = HBMSimulator(HBM3E_TIMING, num_stacks=4)
+    placer = TensorPlacer(4 * GiB)
+    sizes = [1 * MiB, 16 * MiB, 128 * MiB]
+    latencies = [sim.load_tensor(placer.place(f"t{i}", s)).latency for i, s in enumerate(sizes)]
+    assert latencies == sorted(latencies)
+
+
+def test_hbm2e_slower_than_hbm3e():
+    fast = HBMSimulator(HBM3E_TIMING, num_stacks=4)
+    slow = HBMSimulator(HBM2E_TIMING, num_stacks=4)
+    placer_a = TensorPlacer(1 * GiB)
+    placer_b = TensorPlacer(1 * GiB)
+    size = 64 * MiB
+    assert (
+        slow.load_tensor(placer_a.place("t", size)).latency
+        > fast.load_tensor(placer_b.place("t", size)).latency
+    )
+
+
+def test_sustained_bandwidth_probe():
+    sim = HBMSimulator(HBM3E_TIMING, num_stacks=4)
+    assert 0 < sim.sustained_bandwidth(64 * MiB) <= sim.peak_bandwidth

@@ -1,0 +1,105 @@
+"""Tests for the evaluation harness, traces, reporting, and the DSE explorer."""
+
+import os
+
+import pytest
+
+from repro.arch import scaled_system
+from repro.compiler import WorkloadSpec
+from repro.dse import DesignPoint, DesignSpaceExplorer
+from repro.eval import (
+    ExperimentConfig,
+    compare_policies,
+    cost_model_accuracy,
+    format_table,
+    geometric_mean,
+    hbm_demand_trace,
+    intercore_demand_trace,
+    memory_occupancy_trace,
+    save_results,
+)
+from repro.units import TB
+
+FAST_CONFIG = ExperimentConfig(
+    num_layers=1,
+    batch_size=4,
+    seq_len=256,
+    policies=("basic", "elk-full", "ideal"),
+    max_order_candidates=4,
+    use_simulator=True,
+)
+
+
+def test_compare_policies_produces_rows(small_system):
+    workload = WorkloadSpec("tiny-llm", batch_size=4, seq_len=256, num_layers=1)
+    rows = compare_policies(workload, small_system, FAST_CONFIG)
+    assert {row["policy"] for row in rows} == set(FAST_CONFIG.policies)
+    for row in rows:
+        assert row.get("latency_ms", 0) > 0 or "error" in row
+
+
+def test_policy_rows_keep_ideal_fastest(small_system):
+    workload = WorkloadSpec("tiny-llm", batch_size=4, seq_len=256, num_layers=1)
+    rows = {r["policy"]: r for r in compare_policies(workload, small_system, FAST_CONFIG)}
+    assert rows["ideal"]["latency_ms"] <= rows["elk-full"]["latency_ms"] * 1.001
+    assert rows["elk-full"]["latency_ms"] <= rows["basic"]["latency_ms"] * 1.05
+
+
+def test_traces_from_timeline(tiny_elk_result):
+    timeline = tiny_elk_result.timeline
+    hbm = hbm_demand_trace(timeline)
+    intercore = intercore_demand_trace(timeline)
+    total = intercore_demand_trace(timeline, include_preload=True)
+    occupancy = memory_occupancy_trace(timeline)
+    assert hbm.mean >= 0 and hbm.peak >= hbm.mean
+    assert total.mean >= intercore.mean
+    assert occupancy.peak <= tiny_elk_result.plan.sram_budget_bytes * 1.2
+    assert len(hbm.times) == len(hbm.values)
+
+
+def test_cost_model_accuracy_rows():
+    rows = cost_model_accuracy(samples_per_op=40, seed=3)
+    assert any(row["target"] == "inter_core_transfer" for row in rows)
+    for row in rows:
+        assert row["r_squared"] > 0.5
+
+
+def test_format_table_and_save(tmp_path):
+    rows = [
+        {"model": "tiny", "latency_ms": 1.23456, "policy": "elk-full"},
+        {"model": "tiny", "latency_ms": 2.0, "policy": "basic"},
+    ]
+    table = format_table(rows)
+    assert "latency_ms" in table and "elk-full" in table
+    path = os.path.join(tmp_path, "out", "table.txt")
+    text = save_results(rows, path, title="demo")
+    assert os.path.exists(path)
+    assert os.path.exists(os.path.join(tmp_path, "out", "table.json"))
+    assert "demo" in text
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([]) == 0.0
+
+
+def test_design_space_explorer_points():
+    point = DesignPoint(hbm_bandwidth=8 * TB)
+    system = point.build_system()
+    assert system.total_hbm_bandwidth == pytest.approx(8 * TB)
+    scaled = DesignPoint(hbm_bandwidth=8 * TB, cores_per_chip=368, matmul_tflops=500)
+    system = scaled.build_system()
+    assert system.chip.num_cores == 368
+    assert system.total_matmul_flops == pytest.approx(500e12, rel=0.01)
+
+
+def test_design_space_sweep_diminishing_returns():
+    workload = WorkloadSpec("tiny-llm", batch_size=4, seq_len=512, num_layers=1)
+    explorer = DesignSpaceExplorer(workload, FAST_CONFIG)
+    points = [DesignPoint(hbm_bandwidth=bw) for bw in (1 * TB, 4 * TB, 16 * TB, 64 * TB)]
+    results = explorer.sweep(points)
+    assert len(results) == len(points)
+    latencies = [r.latency for r in results]
+    assert latencies[0] >= latencies[-1]
+    assert DesignSpaceExplorer.diminishing_returns(results)
+    assert all(r.bottleneck in ("hbm", "interconnect", "compute") for r in results)

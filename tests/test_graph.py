@@ -1,0 +1,102 @@
+"""Tests for operator graphs and the graph builder."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir import FP16, GraphBuilder, LayerSpan, OperatorGraph, TensorSpec, make_matmul
+
+
+def _simple_chain(num_ops: int = 3) -> OperatorGraph:
+    builder = GraphBuilder("chain")
+    activation = TensorSpec("x0", (4, 32), FP16, "input")
+    builder.begin_layer("layer0", template="chain_layer")
+    for i in range(num_ops):
+        weight = TensorSpec(f"w{i}", (32, 32), FP16, "weight")
+        activation = builder.add(make_matmul(f"mm{i}", activation, weight)).output
+    builder.end_layer()
+    return builder.build()
+
+
+def test_builder_produces_valid_graph():
+    graph = _simple_chain()
+    assert len(graph) == 3
+    assert graph.layers[0].length == 3
+    graph.validate()
+
+
+def test_graph_rejects_duplicate_names():
+    x = TensorSpec("x", (4, 32), FP16)
+    w = TensorSpec("w", (32, 32), FP16, "weight")
+    op = make_matmul("mm", x, w)
+    with pytest.raises(GraphError):
+        OperatorGraph("dup", [op, op])
+
+
+def test_layer_spans_must_not_overlap():
+    graph = _simple_chain()
+    with pytest.raises(GraphError):
+        OperatorGraph(
+            "bad",
+            graph.operators,
+            layers=[LayerSpan("a", 0, 2), LayerSpan("b", 1, 3)],
+        )
+
+
+def test_validate_detects_backwards_dependency():
+    graph = _simple_chain()
+    reordered = OperatorGraph("bad", list(reversed(graph.operators)))
+    with pytest.raises(GraphError):
+        reordered.validate()
+
+
+def test_index_and_operator_lookup(tiny_graph):
+    first = tiny_graph.operators[0]
+    assert tiny_graph.index_of(first.name) == 0
+    assert tiny_graph.operator(first.name) is first
+    with pytest.raises(GraphError):
+        tiny_graph.index_of("no-such-op")
+
+
+def test_hbm_heavy_selection_matches_threshold(tiny_graph):
+    threshold = tiny_graph.hbm_heavy_threshold()
+    heavy = tiny_graph.hbm_heavy_indices()
+    assert heavy, "a transformer layer must contain HBM-heavy operators"
+    for index in heavy:
+        assert tiny_graph[index].hbm_load_bytes > threshold
+    light = set(range(len(tiny_graph))) - set(heavy)
+    for index in light:
+        assert tiny_graph[index].hbm_load_bytes <= threshold
+
+
+def test_identical_layer_groups(tiny_graph):
+    groups = tiny_graph.identical_layer_groups()
+    assert "decoder_layer" in groups
+    assert len(groups["decoder_layer"]) == 2
+
+
+def test_slice_preserves_contained_layers(tiny_graph):
+    span = tiny_graph.layers[0]
+    sliced = tiny_graph.slice(span.start, span.stop, name="one-layer")
+    assert len(sliced) == span.length
+    assert len(sliced.layers) == 1
+    sliced.validate()
+
+
+def test_serialization_round_trip(tiny_graph):
+    restored = OperatorGraph.from_dict(tiny_graph.to_dict())
+    assert restored.name == tiny_graph.name
+    assert len(restored) == len(tiny_graph)
+    assert restored.total_flops == tiny_graph.total_flops
+    restored.validate()
+
+
+def test_builder_rejects_unclosed_layers():
+    builder = GraphBuilder("open")
+    builder.begin_layer("layer0")
+    x = TensorSpec("x", (4, 32), FP16)
+    w = TensorSpec("w", (32, 32), FP16, "weight")
+    builder.add(make_matmul("mm", x, w))
+    with pytest.raises(GraphError):
+        builder.begin_layer("layer1")
+    builder.end_layer()
+    assert builder.build().layers[0].name == "layer0"

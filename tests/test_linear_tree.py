@@ -1,0 +1,74 @@
+"""Tests for the linear-tree regressor used by the fitted cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.linear_tree import LinearTreeRegressor
+from repro.errors import CostModelError
+
+
+def test_fits_linear_function_exactly():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 100, size=(200, 3))
+    y = 2.0 * x[:, 0] - 0.5 * x[:, 1] + 3.0 * x[:, 2] + 7.0
+    model = LinearTreeRegressor(max_depth=2).fit(x, y)
+    assert model.score(x, y) > 0.999
+    prediction = model.predict(np.array([1.0, 2.0, 3.0]))
+    assert prediction == pytest.approx(2.0 - 1.0 + 9.0 + 7.0, rel=1e-6)
+
+
+def test_piecewise_linear_needs_splits():
+    rng = np.random.default_rng(1)
+    x = rng.uniform(-10, 10, size=(400, 1))
+    y = np.where(x[:, 0] < 0, -3.0 * x[:, 0], 5.0 * x[:, 0])
+    shallow = LinearTreeRegressor(max_depth=0).fit(x, y)
+    deep = LinearTreeRegressor(max_depth=3).fit(x, y)
+    assert deep.score(x, y) > shallow.score(x, y)
+    assert deep.depth >= 1
+
+
+def test_prediction_shape_handling():
+    x = np.arange(20, dtype=float).reshape(-1, 2)
+    y = x[:, 0] + x[:, 1]
+    model = LinearTreeRegressor().fit(x, y)
+    batch = model.predict(x)
+    assert batch.shape == (10,)
+    single = model.predict(x[0])
+    assert np.isscalar(single) or single.shape == ()
+
+
+def test_input_validation():
+    model = LinearTreeRegressor()
+    with pytest.raises(CostModelError):
+        model.predict(np.array([1.0, 2.0]))
+    with pytest.raises(CostModelError):
+        model.fit(np.zeros((3, 2)), np.zeros(4))
+    with pytest.raises(CostModelError):
+        model.fit(np.zeros((1, 2)), np.zeros(1))
+    with pytest.raises(CostModelError):
+        LinearTreeRegressor(max_depth=-1)
+
+
+def test_feature_count_mismatch_rejected():
+    x = np.arange(20, dtype=float).reshape(-1, 2)
+    y = x.sum(axis=1)
+    model = LinearTreeRegressor().fit(x, y)
+    with pytest.raises(CostModelError):
+        model.predict(np.zeros((4, 3)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(0.1, 1000.0), min_size=20, max_size=60),
+    st.floats(-5.0, 5.0),
+    st.floats(-100.0, 100.0),
+)
+def test_recovers_arbitrary_linear_models(values, slope, intercept):
+    """Property: any 1-D linear relationship is recovered near-exactly."""
+    x = np.array(values).reshape(-1, 1)
+    y = slope * x[:, 0] + intercept
+    model = LinearTreeRegressor(max_depth=1).fit(x, y)
+    predictions = model.predict(x)
+    assert np.allclose(predictions, y, rtol=1e-5, atol=1e-4)

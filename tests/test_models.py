@@ -1,0 +1,96 @@
+"""Tests for the model zoo (Llama2, Gemma2, OPT, DiT builders and registry)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ir.models import (
+    GEMMA2_27B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    OPT_30B,
+    PAPER_MODEL_NAMES,
+    available_models,
+    build_decode_graph,
+    build_model,
+    build_prefill_graph,
+    get_config,
+)
+
+
+def test_registry_contains_all_paper_models():
+    names = available_models()
+    for model in PAPER_MODEL_NAMES:
+        assert model in names
+    assert get_config("llama2-13b") is LLAMA2_13B
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ConfigurationError):
+        build_model("gpt-17t")
+
+
+def test_gqa_configuration_flags():
+    assert not LLAMA2_13B.uses_gqa
+    assert LLAMA2_70B.uses_gqa
+    assert GEMMA2_27B.uses_gqa
+    assert not OPT_30B.gated_ffn
+    assert OPT_30B.norm_type == "layer_norm"
+
+
+def test_parameter_counts_are_in_published_ballpark():
+    # Within 15% of the nominal parameter counts.
+    assert LLAMA2_13B.approx_param_count == pytest.approx(13e9, rel=0.15)
+    assert LLAMA2_70B.approx_param_count == pytest.approx(70e9, rel=0.15)
+    assert OPT_30B.approx_param_count == pytest.approx(30e9, rel=0.15)
+    assert GEMMA2_27B.approx_param_count == pytest.approx(27e9, rel=0.20)
+
+
+def test_decode_graph_structure():
+    graph = build_model("llama2-13b", batch_size=8, seq_len=512, num_layers=2)
+    assert len(graph.layers) == 3  # 2 decoder layers + lm head
+    decoder_layers = [s for s in graph.layers if s.template == "decoder_layer"]
+    assert len(decoder_layers) == 2
+    assert decoder_layers[0].length == decoder_layers[1].length
+    graph.validate()
+
+
+def test_decode_kv_cache_scales_with_sequence_length():
+    short = build_model("llama2-13b", batch_size=8, seq_len=512, num_layers=1)
+    long = build_model("llama2-13b", batch_size=8, seq_len=2048, num_layers=1)
+    assert long.total_hbm_load_bytes > short.total_hbm_load_bytes
+
+
+def test_gqa_reduces_kv_cache_volume():
+    mha = build_model("tiny-llm", batch_size=8, seq_len=1024, num_layers=1)
+    gqa = build_model("tiny-gqa", batch_size=8, seq_len=1024, num_layers=1)
+    kv_mha = sum(op.usage.kv_cache_bytes for op in mha)
+    kv_gqa = sum(op.usage.kv_cache_bytes for op in gqa)
+    assert kv_gqa < kv_mha
+
+
+def test_prefill_graph_is_compute_intensive():
+    decode = build_decode_graph(LLAMA2_13B, batch_size=4, seq_len=1024, num_layers=1)
+    prefill = build_prefill_graph(LLAMA2_13B, batch_size=4, seq_len=1024, num_layers=1)
+    decode_intensity = decode.total_flops / decode.total_hbm_load_bytes
+    prefill_intensity = prefill.total_flops / prefill.total_hbm_load_bytes
+    assert prefill_intensity > 10 * decode_intensity
+
+
+def test_dit_graph_has_no_kv_cache():
+    graph = build_model("dit-xl", batch_size=4, num_layers=2)
+    assert all(op.usage.kv_cache_bytes == 0 for op in graph)
+    assert graph.total_flops > 0
+    graph.validate()
+
+
+def test_layer_override_bounds():
+    with pytest.raises(ConfigurationError):
+        build_model("llama2-13b", num_layers=0)
+    with pytest.raises(ConfigurationError):
+        build_model("llama2-13b", num_layers=LLAMA2_13B.num_layers + 1)
+
+
+def test_weight_bytes_scale_with_layers():
+    one = build_model("opt-30b", batch_size=4, seq_len=256, num_layers=1, include_lm_head=False)
+    two = build_model("opt-30b", batch_size=4, seq_len=256, num_layers=2, include_lm_head=False)
+    assert two.total_weight_bytes == pytest.approx(2 * one.total_weight_bytes, rel=0.01)

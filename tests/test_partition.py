@@ -1,0 +1,155 @@
+"""Tests for partition plans, enumeration, and preload-state derivation."""
+
+import pytest
+
+from repro.arch import ipu_mk2_chip, scaled_chip
+from repro.errors import PartitionError
+from repro.ir import FP16, TensorSpec, make_matmul, make_softmax
+from repro.partition import (
+    EnumerationLimits,
+    ExecutePlan,
+    OperandShard,
+    build_preload_plan,
+    enumerate_execute_plans,
+    enumerate_preload_plans,
+)
+
+
+def _qkv_like_op():
+    # Sized so one chip's share fits a 32-core scaled chip (8 MB of weights).
+    x = TensorSpec("x", (32, 2048), FP16, "activation")
+    w = TensorSpec("w", (2048, 2048), FP16, "weight")
+    return make_matmul("qkv", x, w)
+
+
+def test_operand_shard_accounting():
+    shard = OperandShard("w", "weight", strip_bytes=1000, group_size=4,
+                         resident_fraction=0.5, from_hbm=True)
+    assert shard.resident_bytes == 500
+    assert shard.exchange_bytes == 500
+    assert shard.unique_bytes == 250
+    with pytest.raises(PartitionError):
+        OperandShard("w", "weight", 1000, 4, 0.1, True)  # below 1/group
+
+
+def test_enumeration_produces_hardware_compatible_plans(small_chip):
+    op = _qkv_like_op()
+    plans = enumerate_execute_plans(op, small_chip)
+    assert plans
+    for plan in plans:
+        assert plan.num_tiles <= small_chip.num_cores * plan.tiles_per_core
+        assert plan.exec_space_bytes <= small_chip.per_core_usable_sram
+        assert plan.cores_used <= small_chip.num_cores
+        assert plan.flops_per_core > 0
+
+
+def test_enumeration_covers_memory_time_tradeoff(small_chip):
+    op = _qkv_like_op()
+    plans = enumerate_execute_plans(op, small_chip)
+    footprints = {p.exec_space_bytes for p in plans}
+    exchanges = {p.exchange_bytes_per_core for p in plans}
+    assert len(footprints) > 3, "expected a range of execution-space sizes"
+    assert len(exchanges) > 1, "expected varying inter-core exchange volumes"
+
+
+def test_reduction_split_speeds_up_decode_matmuls():
+    # On a many-core chip, decode-shaped matmuls (tiny M, huge K) benefit from
+    # splitting the contracted dimension: the fastest split plan beats the
+    # fastest plan that only partitions the output space.
+    from repro.cost import AnalyticCostModel
+
+    chip = ipu_mk2_chip()
+    cost_model = AnalyticCostModel(chip)
+    x = TensorSpec("x", (32, 5120), FP16, "activation")
+    w = TensorSpec("w", (5120, 5120), FP16, "weight")
+    op = make_matmul("qkv-large", x, w)
+    plans = enumerate_execute_plans(op, chip)
+    split = [p for p in plans if p.reduction_split > 1]
+    unsplit = [p for p in plans if p.reduction_split == 1]
+    assert split and unsplit
+    fastest_split = min(cost_model.execution_cost(op, p).total_time for p in split)
+    fastest_unsplit = min(cost_model.execution_cost(op, p).total_time for p in unsplit)
+    assert fastest_split < fastest_unsplit
+
+
+def test_mesh_limits_partitioned_dimensions():
+    mesh_chip = scaled_chip(num_cores=64, topology="mesh_2d")
+    op = _qkv_like_op()
+    plans = enumerate_execute_plans(op, mesh_chip)
+    for plan in plans:
+        split_dims = sum(1 for f in plan.factors if f > 1)
+        split_dims += 1 if plan.reduction_split > 1 else 0
+        assert split_dims <= 2
+
+
+def test_vector_op_enumeration(small_chip):
+    op = make_softmax("sm", TensorSpec("s", (32, 8, 1, 256), FP16))
+    plans = enumerate_execute_plans(op, small_chip)
+    assert plans
+    assert all(p.exchange_bytes_per_core == 0 for p in plans)
+    assert all(p.hbm_bytes_total == 0 for p in plans)
+
+
+def test_infeasible_operator_raises():
+    tiny_chip = scaled_chip(num_cores=2)
+    x = TensorSpec("x", (8192, 8192), FP16, "activation")
+    w = TensorSpec("w", (8192, 8192), FP16, "weight")
+    op = make_matmul("huge", x, w)
+    with pytest.raises(PartitionError):
+        enumerate_execute_plans(op, tiny_chip, EnumerationLimits(max_plans=32))
+
+
+def test_preload_plan_fractions(small_chip):
+    op = _qkv_like_op()
+    plans = enumerate_execute_plans(op, small_chip)
+    shared = next(p for p in plans if any(o.group_size > 1 and o.from_hbm for o in p.operands))
+    preloads = enumerate_preload_plans(shared)
+    assert preloads
+    # Ordered from largest preload space (MaxPreload) to smallest (MinPreload).
+    spaces = [p.preload_space_bytes for p in preloads]
+    assert spaces == sorted(spaces, reverse=True)
+    max_plan, min_plan = preloads[0], preloads[-1]
+    assert max_plan.distribution_bytes_per_core <= min_plan.distribution_bytes_per_core
+    assert min_plan.preload_space_bytes <= max_plan.preload_space_bytes
+    # Memory + distribution conservation: what is not delivered at preload
+    # must be fetched at distribution time.
+    for plan in preloads:
+        assert (
+            plan.preload_space_bytes + plan.distribution_bytes_per_core
+            == max_plan.preload_space_bytes + max_plan.distribution_bytes_per_core
+        )
+
+
+def test_preload_plan_clamps_fraction(small_chip):
+    op = _qkv_like_op()
+    plan = enumerate_execute_plans(op, small_chip)[0]
+    over = build_preload_plan(plan, 5.0)
+    under = build_preload_plan(plan, 0.0)
+    assert over.preload_space_bytes >= under.preload_space_bytes
+    assert under.preload_space_bytes >= 0
+
+
+def test_execute_plan_validation():
+    shard = OperandShard("w", "weight", 100, 2, 0.5, True)
+    with pytest.raises(PartitionError):
+        ExecutePlan(
+            op_name="bad",
+            factors=(2, 2),
+            num_tiles=5,  # != prod(factors) * reduction_split
+            cores_used=4,
+            tiles_per_core=1,
+            tile_shape=(2, 2),
+            operands=(shard,),
+            output_tile_bytes=16,
+            partial_reduce_bytes=0,
+            flops_per_core=10,
+            hbm_bytes_total=100,
+        )
+
+
+def test_full_ipu_chip_enumeration_plan_counts():
+    chip = ipu_mk2_chip()
+    op = _qkv_like_op()
+    plans = enumerate_execute_plans(op, chip)
+    # The paper reports tens to hundreds of plans per operator (Table 2, P).
+    assert 10 <= len(plans) <= 256

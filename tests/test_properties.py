@@ -1,0 +1,93 @@
+"""Property-based tests over core invariants of the compiler stack."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import scaled_chip
+from repro.cost import AnalyticCostModel
+from repro.ir import FP16, TensorSpec, make_matmul
+from repro.ir.models.config import TransformerConfig
+from repro.ir.models.transformer import build_decode_graph
+from repro.partition import enumerate_execute_plans, enumerate_preload_plans
+
+CHIP = scaled_chip(num_cores=16)
+COST = AnalyticCostModel(CHIP)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(1, 64),
+    n=st.integers(8, 1024),
+    k=st.integers(16, 2048),
+)
+def test_matmul_partition_invariants(m, n, k):
+    """Every enumerated plan covers the operator and fits per-core SRAM."""
+    x = TensorSpec("x", (m, k), FP16, "activation")
+    w = TensorSpec("w", (k, n), FP16, "weight")
+    op = make_matmul("mm", x, w)
+    plans = enumerate_execute_plans(op, CHIP)
+    assert plans
+    for plan in plans:
+        # Tiles cover the iteration space.
+        covered = 1
+        for extent, factor in zip(op.iteration_space, plan.factors):
+            assert factor <= max(extent, 1)
+            covered *= factor
+        assert covered * plan.reduction_split == plan.num_tiles
+        assert plan.exec_space_bytes <= CHIP.per_core_usable_sram
+        # Work conservation: per-core FLOPs x tiles >= total FLOPs.
+        assert plan.flops_per_core * max(plan.cores_used, 1) >= op.flops * 0.99 / max(1, plan.tiles_per_core)
+        cost = COST.execution_cost(op, plan)
+        assert cost.total_time > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(1, 32),
+    n=st.integers(8, 512),
+    k=st.integers(16, 1024),
+)
+def test_preload_plan_conservation(m, n, k):
+    """Preload space + distribution volume is conserved across broadcast levels."""
+    x = TensorSpec("x", (m, k), FP16, "activation")
+    w = TensorSpec("w", (k, n), FP16, "weight")
+    op = make_matmul("mm", x, w)
+    plan = enumerate_execute_plans(op, CHIP)[0]
+    preloads = enumerate_preload_plans(plan)
+    totals = {
+        p.preload_space_bytes + p.distribution_bytes_per_core for p in preloads
+    }
+    assert len(totals) == 1
+    for p in preloads:
+        assert p.preload_space_bytes >= 0
+        assert p.hbm_bytes_total == op.hbm_load_bytes
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    hidden=st.sampled_from([256, 512, 768]),
+    heads=st.sampled_from([4, 8]),
+    kv_heads=st.sampled_from([1, 2, 4]),
+    batch=st.integers(1, 8),
+    seq=st.sampled_from([64, 256, 1024]),
+)
+def test_generated_transformers_are_valid(hidden, heads, kv_heads, batch, seq):
+    """Any generated decoder graph is a valid DAG with positive work."""
+    if heads % kv_heads != 0:
+        kv_heads = 1
+    config = TransformerConfig(
+        name="prop-llm",
+        hidden_size=hidden,
+        num_layers=2,
+        num_heads=heads,
+        num_kv_heads=kv_heads,
+        ffn_dim=hidden * 2,
+        vocab_size=1024,
+    )
+    graph = build_decode_graph(config, batch, seq, num_layers=1, include_lm_head=False)
+    graph.validate()
+    assert graph.total_flops > 0
+    assert graph.total_hbm_load_bytes > 0
+    heavy = graph.hbm_heavy_indices()
+    assert all(graph[i].hbm_load_bytes > graph.hbm_heavy_threshold() for i in heavy)

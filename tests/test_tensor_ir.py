@@ -1,0 +1,129 @@
+"""Tests for dtypes, tensors, and operators of the IR."""
+
+import pytest
+
+from repro.errors import ShapeError, UnknownOperatorError
+from repro.ir import (
+    FP16,
+    FP32,
+    TensorSpec,
+    dtype_from_name,
+    make_batch_matmul,
+    make_elementwise,
+    make_matmul,
+    make_norm,
+    make_softmax,
+)
+from repro.ir.operators import Operator
+from repro.ir.tensor import TensorUsage
+
+
+def test_dtype_lookup_and_sizes():
+    assert dtype_from_name("fp16") is FP16
+    assert FP16.itemsize == 2
+    assert FP32.itemsize == 4
+    with pytest.raises(ShapeError):
+        dtype_from_name("fp128")
+
+
+def test_tensor_spec_size_accounting():
+    t = TensorSpec("w", (128, 256), FP16, kind="weight")
+    assert t.num_elements == 128 * 256
+    assert t.size_bytes == 128 * 256 * 2
+    assert t.loads_from_hbm
+    activation = t.with_kind("activation")
+    assert not activation.loads_from_hbm
+
+
+def test_tensor_spec_rejects_bad_shapes_and_kinds():
+    with pytest.raises(ShapeError):
+        TensorSpec("bad", (0, 4))
+    with pytest.raises(ShapeError):
+        TensorSpec("bad", ())
+    with pytest.raises(ShapeError):
+        TensorSpec("bad", (4,), kind="mystery")
+
+
+def test_tensor_serialization_round_trip():
+    t = TensorSpec("kv", (2, 8, 64), FP16, kind="kv_cache")
+    assert TensorSpec.from_dict(t.to_dict()) == t
+
+
+def test_tensor_usage_buckets():
+    usage = TensorUsage.from_tensors(
+        [
+            TensorSpec("w", (4, 4), FP16, "weight"),
+            TensorSpec("kv", (4, 4), FP16, "kv_cache"),
+            TensorSpec("x", (4, 4), FP16, "activation"),
+        ],
+        [TensorSpec("y", (4, 4), FP16)],
+    )
+    assert usage.weight_bytes == 32
+    assert usage.kv_cache_bytes == 32
+    assert usage.activation_bytes == 32
+    assert usage.output_bytes == 32
+    assert usage.hbm_load_bytes == 64
+
+
+def test_matmul_flops_and_shapes():
+    x = TensorSpec("x", (8, 64), FP16, "activation")
+    w = TensorSpec("w", (64, 128), FP16, "weight")
+    op = make_matmul("mm", x, w)
+    assert op.output.shape == (8, 128)
+    assert op.flops == 2 * 8 * 128 * 64
+    assert op.hbm_load_bytes == w.size_bytes
+    assert op.iteration_space == (8, 128)
+    assert op.reduction_dim == 64
+    assert op.is_matmul_like
+
+
+def test_matmul_shape_mismatch_rejected():
+    x = TensorSpec("x", (8, 64), FP16)
+    w = TensorSpec("w", (32, 128), FP16, "weight")
+    with pytest.raises(ShapeError):
+        make_matmul("bad", x, w)
+
+
+def test_batch_matmul_broadcasts_kv_groups():
+    q = TensorSpec("q", (2, 8, 1, 64), FP16)
+    k = TensorSpec("k", (2, 2, 64, 256), FP16, "kv_cache")
+    op = make_batch_matmul("scores", q, k)
+    assert op.output.shape == (2, 8, 1, 256)
+    assert op.reduction_dim == 64
+
+
+def test_vector_operator_constructors():
+    x = TensorSpec("x", (16, 64), FP16)
+    softmax = make_softmax("sm", x)
+    assert softmax.flops == 5 * x.num_elements
+    norm = make_norm("ln", x, TensorSpec("g", (64,), FP16, "weight"))
+    assert norm.op_type == "layer_norm"
+    add = make_elementwise("add", [x, x], function="add")
+    assert add.output.shape == x.shape
+    assert add.attrs["function"] == "add"
+
+
+def test_unknown_operator_type_rejected():
+    x = TensorSpec("x", (4, 4), FP16)
+    with pytest.raises(UnknownOperatorError):
+        Operator("bad", "convolution3d", [x], [x])
+
+
+def test_operator_serialization_round_trip():
+    x = TensorSpec("x", (8, 64), FP16)
+    w = TensorSpec("w", (64, 32), FP16, "weight")
+    op = make_matmul("mm", x, w, label="Attention_QKV")
+    restored = Operator.from_dict(op.to_dict())
+    assert restored.name == op.name
+    assert restored.label == "Attention_QKV"
+    assert restored.output.shape == op.output.shape
+
+
+def test_compute_intensity_distinguishes_weight_and_kv_ops():
+    x = TensorSpec("x", (32, 4096), FP16)
+    w = TensorSpec("w", (4096, 4096), FP16, "weight")
+    weight_matmul = make_matmul("ffn", x, w)
+    q = TensorSpec("q", (32, 8, 1, 128), FP16)
+    kv = TensorSpec("kv", (32, 8, 128, 2048), FP16, "kv_cache")
+    kv_matmul = make_batch_matmul("scores", q, kv)
+    assert weight_matmul.compute_intensity > kv_matmul.compute_intensity

@@ -1,0 +1,34 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_byte_units_are_consistent():
+    assert units.KiB == 1024
+    assert units.MiB == 1024 * units.KiB
+    assert units.GiB == 1024 * units.MiB
+    assert units.GB == 1000**3
+    assert units.TB == 1000 * units.GB
+
+
+def test_conversions_round_trip():
+    assert units.bytes_to_mib(5 * units.MiB) == pytest.approx(5.0)
+    assert units.bytes_to_gb(2 * units.GB) == pytest.approx(2.0)
+    assert units.seconds_to_ms(0.25) == pytest.approx(250.0)
+    assert units.seconds_to_us(1e-6) == pytest.approx(1.0)
+
+
+def test_ceil_div_basic_cases():
+    assert units.ceil_div(10, 3) == 4
+    assert units.ceil_div(9, 3) == 3
+    assert units.ceil_div(1, 5) == 1
+    assert units.ceil_div(0, 5) == 0
+
+
+def test_ceil_div_rejects_nonpositive_denominator():
+    with pytest.raises(ValueError):
+        units.ceil_div(4, 0)
+    with pytest.raises(ValueError):
+        units.ceil_div(4, -2)
