@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import os
 
-from repro.eval import ExperimentConfig
-from repro.eval.reporting import format_table, save_results
+from repro.eval import ExperimentConfig, make_session
+from repro.eval.reporting import save_results
 
 #: Directory where benchmark tables are persisted.
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results")
@@ -30,13 +30,26 @@ BENCH_CONFIG = ExperimentConfig(
     max_order_candidates=16 if not FULL else 64,
 )
 
+#: One compile session shared by every benchmark in the process, so repeated
+#: (workload, system) pairs across figures reuse frontends, profiles, and
+#: whole compile results instead of rebuilding them per figure.
+SESSION = make_session(BENCH_CONFIG)
 
-def report(name: str, title: str, rows, columns=None) -> str:
-    """Print and persist one benchmark's result rows."""
+
+def report(name: str, title: str, rows, columns=None, session=SESSION) -> str:
+    """Print and persist one benchmark's result rows (and compile artifacts).
+
+    Compile artifacts accumulate in the process-wide session, so they are
+    persisted to a single session-scoped file (refreshed after every
+    benchmark) rather than attributed to individual figures.
+    """
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     text = save_results(rows, path, title=title, columns=columns)
     print(f"\n{text}")
     print(f"[saved to {path}]")
+    if session is not None and session.artifacts():
+        artifact_path = session.save(os.path.join(RESULTS_DIR, "session_artifacts.json"))
+        print(f"[{len(session.artifacts())} compile artifacts saved to {artifact_path}]")
     return text
 
 

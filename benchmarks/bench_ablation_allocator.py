@@ -6,10 +6,10 @@ plans, across the allocation instances that arise when scheduling one
 transformer layer.
 """
 
-from _common import BENCH_CONFIG, report
+from _common import BENCH_CONFIG, SESSION, report
 
 from repro.arch import ipu_pod4
-from repro.compiler import ModelCompiler, WorkloadSpec
+from repro.compiler import WorkloadSpec
 from repro.scheduler.allocation import MemoryAllocator
 
 
@@ -20,7 +20,7 @@ def _rows():
         seq_len=BENCH_CONFIG.seq_len,
         num_layers=1,
     )
-    compiler = ModelCompiler(workload, ipu_pod4(), elk_options=BENCH_CONFIG.elk_options())
+    compiler = SESSION.compiler(SESSION.request(workload, ipu_pod4()))
     profiles = compiler.profiles
     allocator = MemoryAllocator(
         compiler.cost_model,

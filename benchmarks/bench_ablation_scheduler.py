@@ -6,15 +6,11 @@ scheduler without reordering (Elk-Dyn), and (c) the full design (Elk-Full),
 plus the Basic and Static baselines, on one workload.
 """
 
-from _common import BENCH_CONFIG, report
+from _common import BENCH_CONFIG, SESSION, report
 
 from repro.arch import ipu_pod4
-from repro.compiler import ModelCompiler, WorkloadSpec
-from repro.scheduler import (
-    InductiveScheduler,
-    SchedulerOptions,
-    TimelineEvaluator,
-)
+from repro.compiler import WorkloadSpec
+from repro.scheduler import InductiveScheduler, SchedulerOptions
 from repro.sim import simulate_system
 
 
@@ -25,7 +21,7 @@ def _rows():
         seq_len=BENCH_CONFIG.seq_len,
         num_layers=BENCH_CONFIG.num_layers,
     )
-    compiler = ModelCompiler(workload, ipu_pod4(), elk_options=BENCH_CONFIG.elk_options())
+    compiler = SESSION.compiler(SESSION.request(workload, ipu_pod4()))
     rows = []
 
     # Variant: inductive scheduling with preload-ahead disabled entirely.

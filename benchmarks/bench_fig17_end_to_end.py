@@ -1,6 +1,6 @@
 """Figure 17: per-token serving latency of all designs across models/batches/sequences."""
 
-from _common import BENCH_CONFIG, FULL, report, summarize_speedups
+from _common import BENCH_CONFIG, FULL, SESSION, report, summarize_speedups
 
 from repro.eval import end_to_end_latency
 
@@ -9,7 +9,7 @@ def _rows():
     batch_sizes = (16, 32, 64) if FULL else (16, 32)
     seq_lens = (2048, 4096) if FULL else (2048,)
     return end_to_end_latency(
-        batch_sizes=batch_sizes, seq_lens=seq_lens, config=BENCH_CONFIG
+        batch_sizes=batch_sizes, seq_lens=seq_lens, config=BENCH_CONFIG, session=SESSION
     )
 
 

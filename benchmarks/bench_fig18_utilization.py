@@ -1,12 +1,12 @@
 """Figure 18: latency breakdown, HBM/NoC utilization, and achieved TFLOPS per design."""
 
-from _common import BENCH_CONFIG, report
+from _common import BENCH_CONFIG, SESSION, report
 
 from repro.eval import utilization_report
 
 
 def _rows():
-    return utilization_report(config=BENCH_CONFIG)
+    return utilization_report(config=BENCH_CONFIG, session=SESSION)
 
 
 def test_fig18_utilization(benchmark):

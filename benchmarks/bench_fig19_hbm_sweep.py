@@ -1,6 +1,6 @@
 """Figure 19: per-token latency at varied HBM bandwidths on both topologies."""
 
-from _common import BENCH_CONFIG, FULL, report
+from _common import BENCH_CONFIG, FULL, SESSION, report
 
 from repro.eval import hbm_bandwidth_sweep
 from repro.units import TB
@@ -9,7 +9,7 @@ from repro.units import TB
 def _rows():
     models = ("llama2-13b", "llama2-70b") if not FULL else None
     bandwidths = (4 * TB, 8 * TB, 16 * TB) if not FULL else (4 * TB, 8 * TB, 12 * TB, 16 * TB)
-    kwargs = {"hbm_bandwidths": bandwidths, "config": BENCH_CONFIG}
+    kwargs = {"hbm_bandwidths": bandwidths, "config": BENCH_CONFIG, "session": SESSION}
     if models:
         kwargs["models"] = models
     return hbm_bandwidth_sweep(**kwargs)

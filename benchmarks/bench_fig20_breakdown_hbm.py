@@ -1,6 +1,6 @@
 """Figure 20: Llama2-13B latency breakdown at varied HBM bandwidths (all-to-all)."""
 
-from _common import BENCH_CONFIG, report
+from _common import BENCH_CONFIG, SESSION, report
 
 from repro.eval import hbm_bandwidth_sweep
 from repro.units import TB
@@ -12,6 +12,7 @@ def _rows():
         hbm_bandwidths=(6 * TB, 10 * TB, 16 * TB),
         topologies=("all_to_all",),
         config=BENCH_CONFIG,
+        session=SESSION,
     )
 
 

@@ -1,6 +1,6 @@
 """Figure 21: interconnect utilization at varied HBM bandwidths, both topologies."""
 
-from _common import BENCH_CONFIG, report
+from _common import BENCH_CONFIG, SESSION, report
 
 from repro.eval import hbm_bandwidth_sweep
 from repro.units import TB
@@ -11,6 +11,7 @@ def _rows():
         models=("llama2-13b", "gemma2-27b"),
         hbm_bandwidths=(8 * TB, 16 * TB),
         config=BENCH_CONFIG,
+        session=SESSION,
     )
 
 

@@ -1,6 +1,6 @@
 """Figure 22: Llama2-70B latency at varied interconnect bandwidths."""
 
-from _common import BENCH_CONFIG, FULL, report
+from _common import BENCH_CONFIG, FULL, SESSION, report
 
 from repro.eval import noc_bandwidth_sweep
 from repro.units import TB
@@ -14,6 +14,7 @@ def _rows():
         hbm_bandwidths=hbm,
         topologies=("all_to_all",) if not FULL else ("all_to_all", "mesh_2d"),
         config=BENCH_CONFIG,
+        session=SESSION,
     )
 
 

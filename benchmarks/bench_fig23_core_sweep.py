@@ -1,6 +1,6 @@
 """Figure 23: per-token latency at varied core counts (plus DiT-XL)."""
 
-from _common import BENCH_CONFIG, FULL, report
+from _common import BENCH_CONFIG, FULL, SESSION, report
 
 from repro.eval import core_count_sweep
 
@@ -8,7 +8,7 @@ from repro.eval import core_count_sweep
 def _rows():
     models = ("llama2-13b", "llama2-70b", "dit-xl") if not FULL else None
     counts = (736, 1472) if not FULL else (736, 1104, 1472)
-    kwargs = {"core_counts": counts, "config": BENCH_CONFIG}
+    kwargs = {"core_counts": counts, "config": BENCH_CONFIG, "session": SESSION}
     if models:
         kwargs["models"] = models
     return core_count_sweep(**kwargs)

@@ -1,6 +1,6 @@
 """Figure 24: achieved TFLOPS for the Llama2-13B training forward pass."""
 
-from _common import BENCH_CONFIG, FULL, report
+from _common import BENCH_CONFIG, FULL, SESSION, report
 
 from repro.eval import training_flops_sweep
 
@@ -10,6 +10,7 @@ def _rows():
         available_tflops=(500, 1000, 1500) if FULL else (500, 1500),
         topologies=("all_to_all",) if not FULL else ("all_to_all", "mesh_2d"),
         config=BENCH_CONFIG,
+        session=SESSION,
     )
 
 

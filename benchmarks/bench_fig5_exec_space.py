@@ -1,12 +1,12 @@
 """Figure 5: execution time vs per-core execution space for representative operators."""
 
-from _common import BENCH_CONFIG, report
+from _common import BENCH_CONFIG, SESSION, report
 
 from repro.eval import execution_space_profile
 
 
 def _rows():
-    return execution_space_profile(config=BENCH_CONFIG)
+    return execution_space_profile(config=BENCH_CONFIG, session=SESSION)
 
 
 def test_fig5_execution_space_tradeoff(benchmark):

@@ -1,12 +1,12 @@
 """Figure 6: HBM bandwidth demand over time for different preload-space sizes."""
 
-from _common import BENCH_CONFIG, report
+from _common import BENCH_CONFIG, SESSION, report
 
 from repro.eval import preload_space_hbm_demand
 
 
 def _rows():
-    return preload_space_hbm_demand(config=BENCH_CONFIG)
+    return preload_space_hbm_demand(config=BENCH_CONFIG, session=SESSION)
 
 
 def test_fig6_hbm_demand_vs_preload_space(benchmark):

@@ -1,12 +1,12 @@
 """Figures 7/8: inter-core and total NoC bandwidth demand, MinPreload vs MaxPreload."""
 
-from _common import BENCH_CONFIG, report
+from _common import BENCH_CONFIG, SESSION, report
 
 from repro.eval import min_max_preload_demand
 
 
 def _rows():
-    return min_max_preload_demand(config=BENCH_CONFIG)
+    return min_max_preload_demand(config=BENCH_CONFIG, session=SESSION)
 
 
 def test_fig7_fig8_min_vs_max_preload(benchmark):

@@ -1,12 +1,12 @@
 """Table 2: model / search-space statistics (C, H, P, K, N) for every model."""
 
-from _common import BENCH_CONFIG, report
+from _common import BENCH_CONFIG, SESSION, report
 
 from repro.eval import model_stats_table
 
 
 def _rows():
-    return model_stats_table(config=BENCH_CONFIG)
+    return model_stats_table(config=BENCH_CONFIG, session=SESSION)
 
 
 def test_table2_model_stats(benchmark):

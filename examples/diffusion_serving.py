@@ -14,32 +14,35 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import Session
 from repro.arch import single_chip
-from repro.compiler import ModelCompiler, WorkloadSpec
+from repro.compiler import WorkloadSpec
 from repro.eval import format_table
 from repro.sim import simulate_system
 from repro.units import GB
+
+SESSION = Session()
 
 
 def evaluate(num_cores: int) -> list[dict]:
     system = single_chip(num_cores=num_cores)
     system = system.with_total_hbm_bandwidth(2.7 * GB * system.total_cores)
     workload = WorkloadSpec("dit-xl", batch_size=8, num_layers=4)
-    compiler = ModelCompiler(workload, system)
     rows = []
     for policy in ("basic", "static", "elk-full", "ideal"):
-        result = compiler.compile(policy)
-        if result.plan is not None:
+        artifact = SESSION.compile(workload, system, policy)
+        plan = artifact.result.plan if artifact.result is not None else None
+        if plan is not None:
             sim = simulate_system(
-                result.plan,
+                plan,
                 system,
-                compiler.frontend.per_chip_graph.total_flops,
-                compiler.frontend.full_graph_flops,
-                compiler.frontend.interchip_bytes_per_step,
+                artifact.frontend.per_chip_graph.total_flops,
+                artifact.frontend.full_graph_flops,
+                artifact.frontend.interchip_bytes_per_step,
             )
             latency, tflops = sim.total_time, sim.achieved_tflops
         else:
-            latency, tflops = result.latency, result.achieved_tflops
+            latency, tflops = artifact.latency, artifact.achieved_tflops
         rows.append(
             {
                 "cores": num_cores,

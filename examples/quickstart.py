@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """Quickstart: compile one LLM decoding step for an ICCA system with Elk.
 
-The example compiles two decoder layers of Llama2-13B (batch 32, sequence
-2048) for the paper's IPU-POD4-like system with every design (Basic, Static,
-Elk-Dyn, Elk-Full, Ideal), prints the per-token latency and hardware
-utilization of each, and shows the first few instructions of the generated
-device program.
+The example drives the service-shaped API: a caching :class:`repro.Session`
+compiles two decoder layers of Llama2-13B (batch 32, sequence 2048) for the
+paper's IPU-POD4-like system with every registered design (Basic, Static,
+Elk-Dyn, Elk-Full, Ideal) in one ``compile_many`` batch — the frontend result
+and per-operator profiles are built once and shared by all five policies.
+It then prints per-token latency and hardware utilization, shows the first
+few instructions of the generated device program, and demonstrates that
+compile artifacts round-trip through JSON.
 
 Run with::
 
@@ -14,7 +17,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ModelCompiler, WorkloadSpec, ipu_pod4
+from repro import CompileArtifact, CompileRequest, POLICIES, Session, WorkloadSpec, ipu_pod4
 from repro.codegen import generate_device_program
 from repro.eval import format_table
 from repro.sim import simulate_system
@@ -23,42 +26,51 @@ from repro.sim import simulate_system
 def main() -> None:
     workload = WorkloadSpec("llama2-13b", batch_size=32, seq_len=2048, num_layers=2)
     system = ipu_pod4()
-    compiler = ModelCompiler(workload, system)
+    session = Session()
 
     print(f"Compiling {workload.model_name} (2 layers) for {system.name} ...")
+    artifacts = session.compile_many(
+        [CompileRequest(workload, system, policy) for policy in POLICIES]
+    )
+
     rows = []
     plans = {}
-    for policy in ("basic", "static", "elk-dyn", "elk-full", "ideal"):
-        result = compiler.compile(policy)
-        if result.plan is not None:
+    for artifact in artifacts:
+        plan = artifact.result.plan if artifact.result is not None else None
+        if plan is not None:
             sim = simulate_system(
-                result.plan,
+                plan,
                 system,
-                compiler.frontend.per_chip_graph.total_flops,
-                compiler.frontend.full_graph_flops,
-                compiler.frontend.interchip_bytes_per_step,
+                artifact.frontend.per_chip_graph.total_flops,
+                artifact.frontend.full_graph_flops,
+                artifact.frontend.interchip_bytes_per_step,
             )
             latency_ms = sim.total_time * 1e3
             hbm = sim.chip_result.hbm_utilization
             noc = sim.chip_result.noc_utilization
             tflops = sim.achieved_tflops
-            plans[policy] = result.plan
+            plans[artifact.policy] = plan
         else:
-            latency_ms = result.latency * 1e3
-            hbm, noc, tflops = result.hbm_utilization, 0.0, result.achieved_tflops
+            latency_ms = artifact.latency * 1e3
+            hbm, noc, tflops = artifact.hbm_utilization, 0.0, artifact.achieved_tflops
         rows.append(
             {
-                "policy": policy,
+                "policy": artifact.policy,
                 "latency_ms": latency_ms,
                 "hbm_util": hbm,
                 "noc_util": noc,
                 "achieved_tflops": tflops,
-                "compile_s": result.compile_seconds,
+                "compile_s": artifact.compile_seconds,
             }
         )
 
     print()
     print(format_table(rows))
+    stats = session.stats
+    print(
+        f"\nSession cache: {stats.frontend_builds} frontend build(s), "
+        f"{stats.profile_builds} profile build(s) shared by {stats.compiles} compiles"
+    )
 
     elk_plan = plans["elk-full"]
     print(f"\nElk-Full plan: {len(elk_plan)} operators, "
@@ -69,6 +81,13 @@ def main() -> None:
     print("\nFirst 12 device-program instructions (§4.5 programming model):")
     for instruction in list(program)[:12]:
         print("  " + instruction.render())
+
+    # Artifacts serialize to JSON, so sweep results persist across runs.
+    elk_artifact = next(a for a in artifacts if a.policy == "elk-full")
+    restored = CompileArtifact.from_json(elk_artifact.to_json())
+    print(f"\nArtifact JSON round-trip: {restored.policy} "
+          f"latency {restored.latency * 1e3:.3f} ms "
+          f"(matches: {restored == elk_artifact})")
 
 
 if __name__ == "__main__":

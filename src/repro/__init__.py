@@ -9,16 +9,49 @@ compilers, an event-driven chip simulator, an emulation framework, code
 generation to the abstract device programming model, and the evaluation /
 design-space-exploration harness behind every table and figure of the paper.
 
-Quickstart::
+Quickstart — compile through a caching :class:`Session`, which shares the
+frontend result and per-operator profiles across policies and can fan a batch
+of requests across workers::
 
-    from repro import WorkloadSpec, ModelCompiler, ipu_pod4
+    from repro import CompileRequest, Session, WorkloadSpec, ipu_pod4
 
-    compiler = ModelCompiler(WorkloadSpec("llama2-13b", batch_size=32,
-                                          seq_len=2048, num_layers=2),
-                             ipu_pod4())
-    result = compiler.compile("elk-full")
-    print(result.latency, result.hbm_utilization)
+    session = Session()
+    workload = WorkloadSpec("llama2-13b", batch_size=32, seq_len=2048,
+                            num_layers=2)
+    artifact = session.compile(workload, ipu_pod4(), policy="elk-full")
+    print(artifact.latency, artifact.hbm_utilization)
+
+    sweep = session.compile_many(
+        [CompileRequest(workload, ipu_pod4(), policy=p)
+         for p in ("basic", "static", "elk-dyn", "elk-full", "ideal")]
+    )
+    print({a.policy: a.latency for a in sweep})
+
+Artifacts serialize to JSON (``artifact.to_json()``, ``session.save(path)``)
+so sweep results persist across runs.  New compiler policies plug in through
+the registry without touching the pipeline::
+
+    from repro import CompilerPolicy, PolicyOutput, register_policy
+
+    @register_policy("my-ablation")
+    class MyAblation(CompilerPolicy):
+        def run(self, compiler):
+            plan = ...  # build an ExecutionPlan from compiler.profiles
+            return PolicyOutput(plan=plan,
+                                timeline=compiler.evaluator().evaluate(plan))
+
+For one-shot use, ``ModelCompiler(workload, system).compile("elk-full")``
+still works and serves every registered policy.
 """
+
+from repro.api import (
+    CompileArtifact,
+    CompileRequest,
+    Session,
+    SessionStats,
+    load_artifacts,
+    save_artifacts,
+)
 
 from repro.arch import (
     ChipConfig,
@@ -32,7 +65,17 @@ from repro.arch import (
     scaled_system,
     single_chip,
 )
-from repro.compiler import POLICIES, CompileResult, ModelCompiler, WorkloadSpec, compile_model
+from repro.compiler import (
+    POLICIES,
+    CompileResult,
+    CompilerPolicy,
+    ModelCompiler,
+    PolicyOutput,
+    WorkloadSpec,
+    available_policies,
+    compile_model,
+    register_policy,
+)
 from repro.errors import ElkError
 from repro.ir import Operator, OperatorGraph, TensorSpec
 from repro.ir.models import available_models, build_model
@@ -54,9 +97,19 @@ __all__ = [
     "single_chip",
     "POLICIES",
     "CompileResult",
+    "CompilerPolicy",
     "ModelCompiler",
+    "PolicyOutput",
     "WorkloadSpec",
+    "available_policies",
     "compile_model",
+    "register_policy",
+    "CompileArtifact",
+    "CompileRequest",
+    "Session",
+    "SessionStats",
+    "load_artifacts",
+    "save_artifacts",
     "ElkError",
     "Operator",
     "OperatorGraph",

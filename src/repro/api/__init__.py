@@ -1,0 +1,34 @@
+"""Service-shaped compilation API: sessions, requests, persistent artifacts.
+
+This package is the batteries-included way to drive the compiler for
+sweep-shaped work (the evaluation harness, the DSE explorer, benchmarks):
+
+* :class:`CompileRequest` — one (workload, system, policy, options) unit.
+* :class:`CompileArtifact` — the JSON-serializable outcome of one request.
+* :class:`Session` — caches frontend results, operator profiles, cost models
+  and compile results across requests; :meth:`Session.compile_many` batches
+  requests through those shared caches (deduplicating repeats) and dispatches
+  distinct ones on a worker pool.
+
+One-shot use stays on :class:`repro.compiler.ModelCompiler`; anything that
+compiles the same workload or system more than once should go through a
+:class:`Session`.
+"""
+
+from repro.api.artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    CompileArtifact,
+    load_artifacts,
+    save_artifacts,
+)
+from repro.api.service import CompileRequest, Session, SessionStats
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "CompileArtifact",
+    "load_artifacts",
+    "save_artifacts",
+    "CompileRequest",
+    "Session",
+    "SessionStats",
+]

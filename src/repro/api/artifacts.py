@@ -1,0 +1,215 @@
+"""Persistent compilation artifacts.
+
+A :class:`CompileArtifact` is the service-level record of one compilation:
+the metrics every report consumes (latency, utilizations, breakdown, compile
+time) plus enough identity (workload, system, policy) to key a cache or a
+result table.  Unlike :class:`~repro.compiler.pipeline.CompileResult` it is
+JSON-(de)serializable, so sweep results persist across runs; the in-memory
+references to the full result, frontend, and system ride along for callers
+that need the plan or the simulator but are dropped on serialization.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field, fields
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.arch.chip import SystemConfig
+    from repro.compiler.frontend import FrontendResult
+    from repro.compiler.pipeline import CompileResult
+
+#: Bumped whenever the serialized artifact layout changes incompatibly.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class CompileArtifact:
+    """Serializable outcome of compiling one workload/system/policy triple.
+
+    Attributes:
+        model: Canonical model name.
+        batch_size: Batch size of the workload.
+        seq_len: Sequence length of the workload.
+        phase: Workload phase (``"decode"``, ``"prefill"``, ...).
+        num_layers: Layer-count override of the workload, if any.
+        system_name: Name of the target system.
+        policy: Compiler policy used.
+        latency: End-to-end per-step latency, seconds.
+        interchip_time: Per-step inter-chip all-reduce time, seconds.
+        breakdown: Fig. 18a-style latency categories, seconds.
+        hbm_utilization: Average HBM bandwidth utilization.
+        noc_utilization: Average interconnect utilization.
+        noc_preload_fraction: Fraction of NoC traffic due to preload delivery.
+        achieved_tflops: System-wide achieved TFLOP/s.
+        compile_seconds: Wall-clock time of the compilation, including any
+            shared-artifact (frontend / profile) builds it triggered.
+        plan_summary: Headline plan statistics (``None`` for rooflines).
+        search_stats: Search-space statistics as a dict (Elk policies only).
+        schema_version: Serialization schema version.
+        result: In-memory :class:`CompileResult` (not serialized).
+        frontend: In-memory :class:`FrontendResult` (not serialized).
+        system: In-memory :class:`SystemConfig` (not serialized).
+    """
+
+    model: str
+    batch_size: int
+    seq_len: int
+    phase: str
+    num_layers: int | None
+    system_name: str
+    policy: str
+    latency: float
+    interchip_time: float
+    breakdown: dict[str, float]
+    hbm_utilization: float
+    noc_utilization: float
+    noc_preload_fraction: float
+    achieved_tflops: float
+    compile_seconds: float
+    plan_summary: dict[str, object] | None = None
+    search_stats: dict[str, int] | None = None
+    schema_version: int = ARTIFACT_SCHEMA_VERSION
+    result: "CompileResult | None" = field(default=None, repr=False, compare=False)
+    frontend: "FrontendResult | None" = field(default=None, repr=False, compare=False)
+    system: "SystemConfig | None" = field(default=None, repr=False, compare=False)
+
+    #: Fields that exist only in memory and are excluded from serialization.
+    _RUNTIME_FIELDS = ("result", "frontend", "system")
+
+    # ----------------------------------------------------------- construction
+    @classmethod
+    def from_result(
+        cls,
+        result: "CompileResult",
+        *,
+        frontend: "FrontendResult | None" = None,
+        system: "SystemConfig | None" = None,
+        compile_seconds: float | None = None,
+    ) -> "CompileArtifact":
+        """Package a :class:`CompileResult` as an artifact.
+
+        Args:
+            result: The pipeline's compile result.
+            frontend: Frontend result to keep referenced (for the simulator).
+            system: System configuration to keep referenced.
+            compile_seconds: Override for the compile time (e.g. to include
+                shared frontend/profile builds); defaults to the result's own.
+        """
+        workload = result.workload
+        return cls(
+            model=workload.model_name,
+            batch_size=workload.batch_size,
+            seq_len=workload.seq_len,
+            phase=workload.phase,
+            num_layers=workload.num_layers,
+            system_name=result.system_name,
+            policy=result.policy,
+            latency=result.latency,
+            interchip_time=result.interchip_time,
+            breakdown=dict(result.breakdown),
+            hbm_utilization=result.hbm_utilization,
+            noc_utilization=result.noc_utilization,
+            noc_preload_fraction=result.noc_preload_fraction,
+            achieved_tflops=result.achieved_tflops,
+            compile_seconds=(
+                result.compile_seconds if compile_seconds is None else compile_seconds
+            ),
+            plan_summary=dict(result.plan.summary()) if result.plan is not None else None,
+            search_stats=asdict(result.search_stats) if result.search_stats else None,
+            result=result,
+            frontend=frontend,
+            system=system,
+        )
+
+    # ---------------------------------------------------------------- reports
+    def summary(self) -> dict[str, object]:
+        """Flat dictionary for result tables."""
+        return {
+            "model": self.model,
+            "batch_size": self.batch_size,
+            "seq_len": self.seq_len,
+            "policy": self.policy,
+            "latency_ms": self.latency * 1e3,
+            "hbm_utilization": self.hbm_utilization,
+            "noc_utilization": self.noc_utilization,
+            "achieved_tflops": self.achieved_tflops,
+            "compile_seconds": self.compile_seconds,
+        }
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, object]:
+        """Serializable dictionary (runtime references dropped)."""
+        data = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in self._RUNTIME_FIELDS
+        }
+        data["breakdown"] = dict(self.breakdown)
+        if self.plan_summary is not None:
+            data["plan_summary"] = dict(self.plan_summary)
+        if self.search_stats is not None:
+            data["search_stats"] = dict(self.search_stats)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "CompileArtifact":
+        """Rebuild an artifact from :meth:`to_dict` output."""
+        version = data.get("schema_version", ARTIFACT_SCHEMA_VERSION)
+        if version != ARTIFACT_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"cannot load artifact schema v{version}; "
+                f"this build reads v{ARTIFACT_SCHEMA_VERSION}"
+            )
+        known = {f.name for f in fields(cls)} - set(cls._RUNTIME_FIELDS)
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown artifact fields {sorted(unknown)}; corrupt file?"
+            )
+        try:
+            return cls(**{key: data[key] for key in data})
+        except TypeError as error:
+            raise ConfigurationError(
+                f"incomplete artifact record: {error}"
+            ) from None
+
+    def to_json(self, **dumps_kwargs) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CompileArtifact":
+        """Deserialize from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+def save_artifacts(artifacts: Sequence[CompileArtifact], path: str) -> str:
+    """Persist a batch of artifacts (one sweep) as a JSON file.
+
+    Returns the path written, creating parent directories as needed.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    payload = {
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "artifacts": [artifact.to_dict() for artifact in artifacts],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_artifacts(path: str) -> list[CompileArtifact]:
+    """Load a batch of artifacts saved by :func:`save_artifacts`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "artifacts" not in payload:
+        raise ConfigurationError(f"{path} is not an artifact batch file")
+    entries: Iterable[dict[str, object]] = payload["artifacts"]
+    return [CompileArtifact.from_dict(entry) for entry in entries]

@@ -1,0 +1,399 @@
+"""The compilation service layer: requests, sessions, batched compilation.
+
+Sweep-shaped workloads dominate this repo: every figure compiles the same
+few (workload, system) pairs under many policies, and every policy consumes
+the same frontend result and per-operator profiles.  A :class:`Session` turns
+that sharing into an explicit service: it memoizes frontend results, operator
+profiles, cost models, and whole compile results keyed by
+(workload, system, policy, options), and :meth:`Session.compile_many` fans a
+batch of :class:`CompileRequest`\\ s across a thread pool while every worker
+reads the shared caches.
+
+>>> session = Session()
+>>> artifact = session.compile("llama2-13b", ipu_pod4(), policy="elk-full")
+>>> sweep = session.compile_many(
+...     [CompileRequest("llama2-13b", ipu_pod4(), policy=p) for p in POLICIES]
+... )
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable, Hashable, Iterable, Sequence
+
+from repro.api.artifacts import CompileArtifact, save_artifacts
+from repro.arch.chip import ChipConfig, SystemConfig
+from repro.baselines.static import StaticOptions
+from repro.compiler.frontend import (
+    FrontendResult,
+    WorkloadSpec,
+    build_frontend_result,
+)
+from repro.compiler.pipeline import ModelCompiler
+from repro.cost.model import AnalyticCostModel, CostModel
+from repro.errors import ConfigurationError
+from repro.partition.enumerate import EnumerationLimits
+from repro.scheduler.elk import ElkOptions
+from repro.scheduler.profiles import OperatorProfile, build_operator_profiles
+
+
+def _freeze(obj: object) -> Hashable:
+    """Canonical hashable key for (possibly nested, mutable) config objects."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (type(obj).__qualname__,) + tuple(
+            (f.name, _freeze(getattr(obj, f.name))) for f in dataclasses.fields(obj)
+        )
+    if isinstance(obj, dict):
+        return tuple(sorted((key, _freeze(value)) for key, value in obj.items()))
+    if isinstance(obj, (list, tuple)):
+        return tuple(_freeze(value) for value in obj)
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def _as_workload(workload: WorkloadSpec | str) -> WorkloadSpec:
+    if isinstance(workload, str):
+        return WorkloadSpec(model=workload)
+    if isinstance(workload, WorkloadSpec):
+        return workload
+    raise ConfigurationError(
+        f"workload must be a WorkloadSpec or model name, got {workload!r}"
+    )
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One unit of work for a :class:`Session`.
+
+    Attributes:
+        workload: Model + serving configuration (a model name is promoted to
+            a default :class:`~repro.compiler.frontend.WorkloadSpec`).
+        system: Target multi-chip system.
+        policy: Registered compiler policy name.
+        elk_options: Per-request Elk knobs (``None`` uses the session's).
+        static_options: Per-request Static knobs (``None`` uses the session's).
+        enumeration: Per-request enumeration limits layered on top of the
+            effective Elk options.
+    """
+
+    workload: WorkloadSpec | str
+    system: SystemConfig
+    policy: str = "elk-full"
+    elk_options: ElkOptions | None = None
+    static_options: StaticOptions | None = None
+    enumeration: EnumerationLimits | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workload", _as_workload(self.workload))
+        object.__setattr__(self, "policy", self.policy.lower())
+
+    @property
+    def workload_spec(self) -> WorkloadSpec:
+        """The workload as a :class:`WorkloadSpec` (always, post-init)."""
+        assert isinstance(self.workload, WorkloadSpec)
+        return self.workload
+
+
+@dataclass
+class SessionStats:
+    """Cache-effectiveness counters of one :class:`Session`.
+
+    ``*_builds`` count real work; ``*_hits`` count cache reuse.
+    """
+
+    frontend_builds: int = 0
+    frontend_hits: int = 0
+    profile_builds: int = 0
+    profile_hits: int = 0
+    compiles: int = 0
+    result_hits: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict copy for logging."""
+        return dataclasses.asdict(self)
+
+
+class Session:
+    """A caching compilation service over the registry-backed pipeline.
+
+    All caches are keyed structurally (by the *values* of the workload,
+    system, and option objects), so two equal configurations built
+    independently share entries.  The session is thread-safe;
+    :meth:`compile_many` relies on that to fan a batch across workers while
+    sharing the per-(workload, system) frontend and profile caches.
+
+    Caches grow for the session's lifetime: every compile result (with its
+    plan and timeline), frontend result, and profile list stays pinned so
+    later requests can hit them.  For very large sweeps, call :meth:`clear`
+    between unrelated phases — after :meth:`save`\\ ing any artifacts worth
+    keeping — to return the memory.
+
+    Args:
+        elk_options: Default Elk knobs for requests that bring none.
+        static_options: Default Static knobs.
+        enumeration: Default enumeration limits layered onto the Elk options.
+        cost_model_factory: Builds the cost model for each distinct chip
+            (defaults to :class:`~repro.cost.model.AnalyticCostModel`).
+        max_workers: Default worker count of :meth:`compile_many`.
+    """
+
+    def __init__(
+        self,
+        elk_options: ElkOptions | None = None,
+        static_options: StaticOptions | None = None,
+        enumeration: EnumerationLimits | None = None,
+        cost_model_factory: Callable[[ChipConfig], CostModel] = AnalyticCostModel,
+        max_workers: int | None = None,
+    ) -> None:
+        self.elk_options = elk_options or ElkOptions()
+        if enumeration is not None:
+            self.elk_options = replace(self.elk_options, enumeration=enumeration)
+        self.static_options = static_options or StaticOptions()
+        self.cost_model_factory = cost_model_factory
+        self.max_workers = max_workers
+        self.stats = SessionStats()
+        self._lock = threading.Lock()
+        self._frontends: dict[Hashable, FrontendResult] = {}
+        self._profiles: dict[Hashable, list[OperatorProfile]] = {}
+        self._cost_models: dict[Hashable, CostModel] = {}
+        self._results: dict[Hashable, CompileArtifact] = {}
+
+    # -------------------------------------------------------------- requests
+    def request(
+        self,
+        workload: WorkloadSpec | str,
+        system: SystemConfig,
+        policy: str = "elk-full",
+        **options,
+    ) -> CompileRequest:
+        """Build a :class:`CompileRequest` (convenience constructor).
+
+        Options left unset on the request are resolved at compile time by
+        whichever session compiles it; nothing from this session is baked
+        into the returned request.  Pass explicit ``elk_options=`` /
+        ``static_options=`` / ``enumeration=`` to pin them.
+        """
+        return CompileRequest(workload, system, policy, **options)
+
+    def _effective_elk(self, request: CompileRequest) -> ElkOptions:
+        options = request.elk_options or self.elk_options
+        if request.enumeration is not None:
+            options = replace(options, enumeration=request.enumeration)
+        return options
+
+    def _effective_static(self, request: CompileRequest) -> StaticOptions:
+        return request.static_options or self.static_options
+
+    def _result_key(self, request: CompileRequest) -> Hashable:
+        return (
+            _freeze(request.workload_spec),
+            _freeze(request.system),
+            request.policy,
+            _freeze(self._effective_elk(request)),
+            _freeze(self._effective_static(request)),
+        )
+
+    def _profile_key(
+        self, workload: WorkloadSpec, system: SystemConfig, limits: EnumerationLimits
+    ) -> Hashable:
+        return (_freeze(workload), _freeze(system), _freeze(limits))
+
+    # ------------------------------------------------------- shared artifacts
+    def cost_model(self, chip: ChipConfig) -> CostModel:
+        """The (cached) cost model of ``chip``."""
+        key = _freeze(chip)
+        with self._lock:
+            cached = self._cost_models.get(key)
+        if cached is not None:
+            return cached
+        built = self.cost_model_factory(chip)
+        with self._lock:
+            return self._cost_models.setdefault(key, built)
+
+    def frontend(
+        self, workload: WorkloadSpec | str, system: SystemConfig
+    ) -> FrontendResult:
+        """The (cached) frontend result of a workload on a system."""
+        workload = _as_workload(workload)
+        key = (_freeze(workload), _freeze(system))
+        with self._lock:
+            cached = self._frontends.get(key)
+            if cached is not None:
+                self.stats.frontend_hits += 1
+                return cached
+        built = build_frontend_result(workload, system)
+        with self._lock:
+            winner = self._frontends.setdefault(key, built)
+            if winner is built:
+                self.stats.frontend_builds += 1
+        return winner
+
+    def profiles(
+        self,
+        workload: WorkloadSpec | str,
+        system: SystemConfig,
+        enumeration: EnumerationLimits | None = None,
+    ) -> list[OperatorProfile]:
+        """The (cached) per-operator planning profiles of a workload."""
+        workload = _as_workload(workload)
+        limits = enumeration or self.elk_options.enumeration
+        key = self._profile_key(workload, system, limits)
+        with self._lock:
+            cached = self._profiles.get(key)
+            if cached is not None:
+                self.stats.profile_hits += 1
+                return cached
+        frontend = self.frontend(workload, system)
+        built = build_operator_profiles(
+            frontend.per_chip_graph, system.chip, self.cost_model(system.chip), limits
+        )
+        with self._lock:
+            winner = self._profiles.setdefault(key, built)
+            if winner is built:
+                self.stats.profile_builds += 1
+        return winner
+
+    # ---------------------------------------------------------------- compile
+    def compiler(self, request: CompileRequest) -> ModelCompiler:
+        """A :class:`ModelCompiler` wired to this session's shared caches."""
+        elk = self._effective_elk(request)
+        workload = request.workload_spec
+        return ModelCompiler(
+            workload,
+            request.system,
+            cost_model=self.cost_model(request.system.chip),
+            elk_options=elk,
+            static_options=self._effective_static(request),
+            frontend=self.frontend(workload, request.system),
+            profiles=self.profiles(workload, request.system, elk.enumeration),
+        )
+
+    def compile(
+        self,
+        request: CompileRequest | WorkloadSpec | str,
+        system: SystemConfig | None = None,
+        policy: str = "elk-full",
+        **options,
+    ) -> CompileArtifact:
+        """Compile one request, reusing every cached artifact that applies.
+
+        Accepts either a prepared :class:`CompileRequest` or the
+        ``(workload, system, policy)`` triple directly.
+        """
+        if not isinstance(request, CompileRequest):
+            if system is None:
+                raise ConfigurationError(
+                    "Session.compile needs a CompileRequest or (workload, system)"
+                )
+            request = CompileRequest(request, system, policy, **options)
+        key = self._result_key(request)
+        with self._lock:
+            cached = self._results.get(key)
+            if cached is not None:
+                self.stats.result_hits += 1
+                return cached
+        started = time.perf_counter()
+        compiler = self.compiler(request)
+        result = compiler.compile(request.policy)
+        elapsed = time.perf_counter() - started
+        artifact = CompileArtifact.from_result(
+            result,
+            frontend=compiler.frontend,
+            system=request.system,
+            compile_seconds=elapsed,
+        )
+        with self._lock:
+            winner = self._results.setdefault(key, artifact)
+            if winner is artifact:
+                self.stats.compiles += 1
+        return winner
+
+    def compile_many(
+        self,
+        requests: Sequence[CompileRequest],
+        max_workers: int | None = None,
+    ) -> list[CompileArtifact]:
+        """Compile a batch of requests through the shared caches.
+
+        The frontend / profile caches are warmed once per distinct
+        (workload, system, enumeration) up front and duplicate requests are
+        compiled once, so a multi-policy sweep does the minimum work; results
+        come back in request order and match sequential :meth:`compile` calls
+        exactly.  Distinct requests are dispatched on a thread pool — the
+        pure-Python scheduling work itself is GIL-bound, so expect cache
+        sharing (not thread count) to provide the speedup unless the cost
+        model or a future backend releases the GIL.
+        """
+        requests = list(requests)
+        for request in requests:
+            if not isinstance(request, CompileRequest):
+                raise ConfigurationError(
+                    f"compile_many expects CompileRequests, got {request!r}"
+                )
+        warmed: set[Hashable] = set()
+        unique: dict[Hashable, CompileRequest] = {}
+        keys: list[Hashable] = []
+        for request in requests:
+            elk = self._effective_elk(request)
+            profile_key = self._profile_key(
+                request.workload_spec, request.system, elk.enumeration
+            )
+            if profile_key not in warmed:
+                warmed.add(profile_key)
+                self.profiles(request.workload_spec, request.system, elk.enumeration)
+            key = self._result_key(request)
+            keys.append(key)
+            unique.setdefault(key, request)
+        workers = max_workers if max_workers is not None else self.max_workers
+        if workers is None:
+            workers = min(4, len(unique)) or 1
+        if workers <= 1 or len(unique) <= 1:
+            compiled = {key: self.compile(request) for key, request in unique.items()}
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                compiled = dict(
+                    zip(unique, pool.map(self.compile, unique.values()))
+                )
+        return [compiled[key] for key in keys]
+
+    def sweep(
+        self,
+        workloads: Iterable[WorkloadSpec | str],
+        systems: Iterable[SystemConfig] | SystemConfig,
+        policies: Iterable[str] = ("elk-full",),
+        max_workers: int | None = None,
+    ) -> list[CompileArtifact]:
+        """Cross-product convenience: compile workloads × systems × policies."""
+        if isinstance(systems, SystemConfig):
+            systems = [systems]
+        requests = [
+            CompileRequest(workload, system, policy)
+            for workload in workloads
+            for system in systems
+            for policy in policies
+        ]
+        return self.compile_many(requests, max_workers=max_workers)
+
+    # ------------------------------------------------------------ persistence
+    def artifacts(self) -> list[CompileArtifact]:
+        """Every compile artifact currently cached, in insertion order."""
+        with self._lock:
+            return list(self._results.values())
+
+    def save(self, path: str) -> str:
+        """Persist every cached artifact to ``path`` (JSON batch file)."""
+        return save_artifacts(self.artifacts(), path)
+
+    def clear(self) -> None:
+        """Drop every cache and reset the counters."""
+        with self._lock:
+            self._frontends.clear()
+            self._profiles.clear()
+            self._cost_models.clear()
+            self._results.clear()
+            self.stats = SessionStats()

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import ArchitectureError
-from repro.units import GB, GiB, TB
+from repro.units import GiB, TB
 
 
 @dataclass(frozen=True)

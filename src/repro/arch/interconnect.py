@@ -11,7 +11,7 @@ neighbours simultaneously.  HBM controllers are attached as dedicated nodes
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ArchitectureError
 from repro.units import GB

@@ -12,7 +12,7 @@ explicitly which preset they use.
 from __future__ import annotations
 
 from repro.arch.chip import ChipConfig, SystemConfig
-from repro.arch.core import IPU_MK2_CORE, CoreConfig
+from repro.arch.core import IPU_MK2_CORE
 from repro.arch.hbm import HBM3E_X4, HBMConfig
 from repro.arch.interconnect import ALL_TO_ALL, MESH_2D, InterconnectConfig
 from repro.units import GB, TB

@@ -1,4 +1,4 @@
-"""The Elk compiler driver: frontend, policies, and the compile pipeline."""
+"""The Elk compiler driver: frontend, the policy registry, and the pipeline."""
 
 from repro.compiler.frontend import (
     FrontendResult,
@@ -14,6 +14,16 @@ from repro.compiler.pipeline import (
     ModelCompiler,
     compile_model,
 )
+from repro.compiler.registry import (
+    CompilerPolicy,
+    PolicyOutput,
+    available_policies,
+    get_policy,
+    is_registered,
+    policy_descriptions,
+    register_policy,
+    unregister_policy,
+)
 
 __all__ = [
     "FrontendResult",
@@ -26,4 +36,12 @@ __all__ = [
     "CompileResult",
     "ModelCompiler",
     "compile_model",
+    "CompilerPolicy",
+    "PolicyOutput",
+    "available_policies",
+    "get_policy",
+    "is_registered",
+    "policy_descriptions",
+    "register_policy",
+    "unregister_policy",
 ]

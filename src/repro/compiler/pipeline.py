@@ -15,25 +15,28 @@ consumes the same single-operator partition plans (§6.1).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Sequence
 
+import repro.compiler.policies  # noqa: F401  (registers the paper's policies)
 from repro.arch.chip import SystemConfig
-from repro.baselines.basic import BasicCompiler
-from repro.baselines.ideal import IdealResult, IdealRoofline
-from repro.baselines.static import StaticCompiler, StaticOptions
+from repro.baselines.ideal import IdealResult
+from repro.baselines.static import StaticOptions
 from repro.compiler.frontend import FrontendResult, WorkloadSpec, build_frontend_result
+from repro.compiler.registry import available_policies, get_policy
 from repro.cost.model import AnalyticCostModel, CostModel
-from repro.errors import ConfigurationError
 from repro.partition.enumerate import EnumerationLimits
-from repro.scheduler.elk import ElkOptions, ElkScheduler
+from repro.scheduler.elk import ElkOptions
 from repro.scheduler.plan import ExecutionPlan
 from repro.scheduler.preload_order import OrderSearchStats
 from repro.scheduler.profiles import OperatorProfile, build_operator_profiles
 from repro.scheduler.timeline import TimelineEvaluator, TimelineResult
 
-#: Designs compared throughout the evaluation (§6.1).
-POLICIES = ("basic", "static", "elk-dyn", "elk-full", "ideal")
+#: Designs compared throughout the evaluation (§6.1), derived from the
+#: registry at import time.  Policies registered later are equally valid
+#: ``compile()`` targets; call
+#: :func:`repro.compiler.registry.available_policies` for the live set.
+POLICIES = available_policies()
 
 
 @dataclass
@@ -100,6 +103,9 @@ class ModelCompiler:
         elk_options: Knobs for the Elk policies.
         static_options: Knobs for the Static baseline.
         enumeration: Partition-plan enumeration limits.
+        frontend: Precomputed frontend result (e.g. from a
+            :class:`repro.api.Session` cache); built lazily when omitted.
+        profiles: Precomputed operator profiles; built lazily when omitted.
     """
 
     def __init__(
@@ -110,6 +116,8 @@ class ModelCompiler:
         elk_options: ElkOptions | None = None,
         static_options: StaticOptions | None = None,
         enumeration: EnumerationLimits | None = None,
+        frontend: FrontendResult | None = None,
+        profiles: Sequence[OperatorProfile] | None = None,
     ) -> None:
         self.workload = workload
         self.system = system
@@ -117,10 +125,11 @@ class ModelCompiler:
         self.cost_model = cost_model or AnalyticCostModel(self.chip)
         self.elk_options = elk_options or ElkOptions()
         if enumeration is not None:
-            self.elk_options.enumeration = enumeration
+            # Don't mutate the caller's options object.
+            self.elk_options = replace(self.elk_options, enumeration=enumeration)
         self.static_options = static_options or StaticOptions()
-        self._frontend: FrontendResult | None = None
-        self._profiles: list[OperatorProfile] | None = None
+        self._frontend = frontend
+        self._profiles = list(profiles) if profiles is not None else None
 
     # ------------------------------------------------------------------ shared
     @property
@@ -153,66 +162,34 @@ class ModelCompiler:
             + self.system.inter_chip_latency
         )
 
-    def _evaluator(self) -> TimelineEvaluator:
+    def evaluator(self) -> TimelineEvaluator:
+        """A timeline evaluator for plans of this workload's per-chip graph."""
         return TimelineEvaluator(
             self.chip, total_flops=self.frontend.per_chip_graph.total_flops
         )
 
     # ----------------------------------------------------------------- policies
     def compile(self, policy: str = "elk-full") -> CompileResult:
-        """Compile the workload with one policy."""
+        """Compile the workload with one registered policy.
+
+        Any policy registered through
+        :func:`repro.compiler.registry.register_policy` is accepted, not just
+        the paper's five; unknown names raise
+        :class:`~repro.errors.ConfigurationError`.
+        """
         policy = policy.lower()
-        if policy not in POLICIES:
-            raise ConfigurationError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+        implementation = get_policy(policy)
         started = time.perf_counter()
-
-        if policy == "ideal":
-            ideal = IdealRoofline(
-                self.profiles,
-                self.chip,
-                self.cost_model,
-                total_flops=self.frontend.per_chip_graph.total_flops,
-            ).estimate()
-            elapsed = time.perf_counter() - started
-            return self._package(
-                policy, None, None, ideal, elapsed, search_stats=None
-            )
-
-        if policy in ("elk-full", "elk-dyn"):
-            options = ElkOptions(
-                enable_reordering=(policy == "elk-full"),
-                max_preload_ahead=self.elk_options.max_preload_ahead,
-                order_search=self.elk_options.order_search,
-                enumeration=self.elk_options.enumeration,
-            )
-            scheduler = ElkScheduler(
-                self.frontend.per_chip_graph, self.chip, self.cost_model, options
-            )
-            scheduler._profiles = self.profiles  # share the cached profiles
-            outcome = scheduler.run()
-            elapsed = time.perf_counter() - started
-            return self._package(
-                policy, outcome.plan, outcome.timeline, None, elapsed, outcome.stats
-            )
-
-        if policy == "basic":
-            plan = BasicCompiler(
-                self.profiles, self.cost_model, self.chip.per_core_usable_sram
-            ).plan(model_name=self.frontend.per_chip_graph.name)
-            timeline = self._evaluator().evaluate(plan)
-            elapsed = time.perf_counter() - started
-            return self._package(policy, plan, timeline, None, elapsed, None)
-
-        # Static
-        plan, timeline = StaticCompiler(
-            self.profiles,
-            self.cost_model,
-            self.chip,
-            total_flops=self.frontend.per_chip_graph.total_flops,
-            options=self.static_options,
-        ).plan(model_name=self.frontend.per_chip_graph.name)
+        output = implementation.run(self)
         elapsed = time.perf_counter() - started
-        return self._package(policy, plan, timeline, None, elapsed, None)
+        return self._package(
+            policy,
+            output.plan,
+            output.timeline,
+            output.ideal,
+            elapsed,
+            output.search_stats,
+        )
 
     def compile_all(
         self, policies: Sequence[str] = POLICIES

@@ -1,0 +1,160 @@
+"""Pluggable registry of compiler policies.
+
+The paper compares five compiler designs (§6.1) and several ablations on the
+same per-operator profiles.  Rather than hard-coding that set in the compile
+pipeline, every design is a :class:`CompilerPolicy` registered by name; the
+pipeline dispatches through the registry, so new policies — ablations, paper
+extensions, experimental schedulers — plug in without touching
+:mod:`repro.compiler.pipeline`:
+
+>>> @register_policy("my-ablation")
+... class MyAblation(CompilerPolicy):
+...     def run(self, compiler):
+...         plan = ...                      # build an ExecutionPlan
+...         timeline = compiler.evaluator().evaluate(plan)
+...         return PolicyOutput(plan=plan, timeline=timeline)
+>>> ModelCompiler(workload, system).compile("my-ablation")
+
+A policy receives the :class:`~repro.compiler.pipeline.ModelCompiler` driving
+the compilation and reads the shared cached artifacts (frontend result,
+operator profiles, cost model) from it, which mirrors the paper's ablation
+setup where every design consumes the same single-operator partition plans.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, ClassVar, TypeVar
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.baselines.ideal import IdealResult
+    from repro.compiler.pipeline import ModelCompiler
+    from repro.scheduler.plan import ExecutionPlan
+    from repro.scheduler.preload_order import OrderSearchStats
+    from repro.scheduler.timeline import TimelineResult
+
+
+@dataclass(frozen=True)
+class PolicyOutput:
+    """What a policy hands back to the pipeline for packaging.
+
+    Exactly one of ``timeline`` (plan-producing policies) or ``ideal``
+    (roofline-style policies) must be set.
+
+    Attributes:
+        plan: The per-chip execution plan (``None`` for roofline policies).
+        timeline: Analytic timeline of the plan (``None`` for rooflines).
+        ideal: Roofline estimate (roofline policies only).
+        search_stats: Search-space statistics, if the policy searched.
+    """
+
+    plan: "ExecutionPlan | None" = None
+    timeline: "TimelineResult | None" = None
+    ideal: "IdealResult | None" = None
+    search_stats: "OrderSearchStats | None" = None
+
+    def __post_init__(self) -> None:
+        if (self.timeline is None) == (self.ideal is None):
+            raise ConfigurationError(
+                "a PolicyOutput needs exactly one of `timeline` or `ideal`"
+            )
+
+
+class CompilerPolicy(abc.ABC):
+    """One compiler design: turns shared profiles into an execution plan.
+
+    Subclasses are registered with :func:`register_policy` and instantiated
+    fresh for every :meth:`~repro.compiler.pipeline.ModelCompiler.compile`
+    call, so they may keep per-compilation state on ``self``.
+
+    Attributes:
+        name: Registry name, filled in by :func:`register_policy`.
+        description: One-line summary for tooling and reports.
+    """
+
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def run(self, compiler: "ModelCompiler") -> PolicyOutput:
+        """Compile ``compiler``'s workload and return the outcome."""
+
+
+_PolicyT = TypeVar("_PolicyT", bound=type)
+
+#: Registered policy classes, in registration order (dicts preserve it).
+_REGISTRY: dict[str, type[CompilerPolicy]] = {}
+
+
+def register_policy(
+    name: str, *, replace: bool = False
+) -> Callable[[_PolicyT], _PolicyT]:
+    """Class decorator registering a :class:`CompilerPolicy` under ``name``.
+
+    Args:
+        name: Policy name used by ``compile(policy=...)``; lower-cased.
+        replace: Allow overwriting an existing registration (tests, notebook
+            re-runs).  Without it a duplicate name raises
+            :class:`~repro.errors.ConfigurationError`.
+    """
+
+    key = name.lower()
+
+    def decorator(cls: _PolicyT) -> _PolicyT:
+        if not (isinstance(cls, type) and issubclass(cls, CompilerPolicy)):
+            raise ConfigurationError(
+                f"@register_policy({name!r}) expects a CompilerPolicy subclass, "
+                f"got {cls!r}"
+            )
+        if not replace and key in _REGISTRY:
+            raise ConfigurationError(
+                f"policy {key!r} is already registered by "
+                f"{_REGISTRY[key].__qualname__}; pass replace=True to override"
+            )
+        cls.name = key
+        _REGISTRY[key] = cls
+        return cls
+
+    return decorator
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a registered policy (primarily for test cleanup)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(f"policy {key!r} is not registered")
+    del _REGISTRY[key]
+
+
+def get_policy(name: str) -> CompilerPolicy:
+    """Instantiate the policy registered under ``name``.
+
+    Raises:
+        ConfigurationError: If no policy has been registered under ``name``.
+    """
+    key = name.lower()
+    try:
+        cls = _REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; expected one of {available_policies()}"
+        ) from None
+    return cls()
+
+
+def is_registered(name: str) -> bool:
+    """Whether a policy is registered under ``name``."""
+    return name.lower() in _REGISTRY
+
+
+def available_policies() -> tuple[str, ...]:
+    """Names of every registered policy, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def policy_descriptions() -> dict[str, str]:
+    """``{name: description}`` of every registered policy."""
+    return {name: cls.description for name, cls in _REGISTRY.items()}

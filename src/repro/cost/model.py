@@ -19,7 +19,6 @@ trained against those measurements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import prod
 from typing import Protocol
 
 from repro.arch.chip import ChipConfig

@@ -10,7 +10,7 @@ latencies from a bank/row timing model with row-buffer locality.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.dram.timing import HBM3E_TIMING, HBMTimingParams
 from repro.errors import SimulationError

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ArchitectureError
-from repro.units import GB, KiB
+from repro.units import KiB
 
 
 @dataclass(frozen=True)

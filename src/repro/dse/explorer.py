@@ -9,16 +9,22 @@ so the design-space benchmarks can assert them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
+from repro.api import Session
 from repro.arch.chip import SystemConfig
 from repro.arch.interconnect import ALL_TO_ALL
 from repro.arch.presets import ipu_pod4
 from repro.compiler.frontend import WorkloadSpec
-from repro.compiler.pipeline import ModelCompiler
 from repro.errors import ElkError
-from repro.eval.experiments import DEFAULT_CONFIG, ExperimentConfig, evaluate_policy
+from repro.eval.experiments import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    evaluate_artifact,
+    make_request,
+    make_session,
+)
 from repro.units import TB
 
 
@@ -81,6 +87,8 @@ class DesignSpaceExplorer:
         workload: The workload to compile for every design point.
         config: Experiment configuration (scaling, simulator use).
         policy: Compiler policy evaluated at each point.
+        session: Compile session whose caches are shared across design points
+            (and, when passed in, across explorers).
     """
 
     def __init__(
@@ -88,18 +96,20 @@ class DesignSpaceExplorer:
         workload: WorkloadSpec,
         config: ExperimentConfig = DEFAULT_CONFIG,
         policy: str = "elk-full",
+        session: Session | None = None,
     ) -> None:
         self.workload = workload
         self.config = config
         self.policy = policy
+        self.session = session or make_session(config)
 
     def evaluate_point(self, point: DesignPoint) -> DesignPointResult:
         """Compile + evaluate the workload on one design point."""
         system = point.build_system()
-        compiler = ModelCompiler(
-            self.workload, system, elk_options=self.config.elk_options()
+        artifact = self.session.compile(
+            make_request(self.workload, system, self.policy, self.config)
         )
-        row = evaluate_policy(compiler, self.policy, self.config)
+        row = evaluate_artifact(artifact, self.config)
         hbm_util = float(row.get("hbm_utilization", 0.0))
         noc_util = float(row.get("noc_utilization", 0.0))
         if hbm_util >= max(noc_util, 0.6):

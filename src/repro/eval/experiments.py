@@ -7,26 +7,30 @@ number of identical transformer layers and a bounded search, so a full
 figure regenerates in seconds-to-minutes on a laptop while preserving the
 relative behaviour of the designs (who wins, by how much, and where the
 crossovers are).
+
+Every runner compiles through a :class:`repro.api.Session`, so frontend
+results and per-operator profiles are shared across the policies and grid
+points of a sweep; pass your own ``session=`` to share those caches across
+runners (the benchmark harness does).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Sequence
 
+from repro.api import CompileArtifact, CompileRequest, Session
 from repro.arch.chip import SystemConfig
 from repro.arch.interconnect import ALL_TO_ALL, MESH_2D
 from repro.arch.presets import ipu_pod4, single_chip
 from repro.baselines.static import StaticCompiler, StaticOptions
 from repro.compiler.frontend import WorkloadSpec
-from repro.compiler.pipeline import POLICIES, CompileResult, ModelCompiler
+from repro.compiler.pipeline import POLICIES
 from repro.cost.fitted import FittedCostModel
-from repro.cost.model import AnalyticCostModel
 from repro.errors import ElkError
 from repro.eval.traces import hbm_demand_trace, intercore_demand_trace
 from repro.ir.models.registry import PAPER_LLM_NAMES, get_config
-from repro.partition.enumerate import EnumerationLimits, enumerate_execute_plans
+from repro.partition.enumerate import enumerate_execute_plans
 from repro.partition.pareto import frontier_from_plans
 from repro.scheduler.elk import ElkOptions
 from repro.scheduler.preload_order import OrderSearchConfig
@@ -69,39 +73,64 @@ class ExperimentConfig:
 DEFAULT_CONFIG = ExperimentConfig()
 
 
+def make_session(config: ExperimentConfig, **session_kwargs) -> Session:
+    """A compile session whose defaults come from an experiment config."""
+    return Session(elk_options=config.elk_options(), **session_kwargs)
+
+
+def make_request(
+    workload: WorkloadSpec, system: SystemConfig, policy: str, config: ExperimentConfig
+) -> CompileRequest:
+    """A request pinning the config's Elk options explicitly.
+
+    Runners accept externally-built sessions; carrying the options on the
+    request (rather than relying on the session's defaults) keeps every row
+    consistent with the config it is labeled with, whatever session compiles
+    it.
+    """
+    return CompileRequest(workload, system, policy, elk_options=config.elk_options())
+
+
 # --------------------------------------------------------------------------- #
-# Core helper: compile one workload with one policy and measure it.
+# Core helper: evaluate one compiled artifact into a flat result row.
 # --------------------------------------------------------------------------- #
-def evaluate_policy(
-    compiler: ModelCompiler, policy: str, config: ExperimentConfig
+def evaluate_artifact(
+    artifact: CompileArtifact, config: ExperimentConfig
 ) -> dict[str, object]:
-    """Compile + evaluate one policy and return a flat result row."""
-    result: CompileResult = compiler.compile(policy)
+    """Turn one compile artifact into a flat result row.
+
+    When the artifact carries a plan and ``config.use_simulator`` is set, the
+    metrics come from the event-driven simulator; otherwise the analytic
+    numbers recorded on the artifact are used directly.
+    """
     row: dict[str, object] = {
-        "model": result.workload.model_name,
-        "batch_size": result.workload.batch_size,
-        "seq_len": result.workload.seq_len,
-        "policy": policy,
-        "compile_seconds": round(result.compile_seconds, 3),
+        "model": artifact.model,
+        "batch_size": artifact.batch_size,
+        "seq_len": artifact.seq_len,
+        "policy": artifact.policy,
+        "compile_seconds": round(artifact.compile_seconds, 3),
     }
-    if policy == "ideal" or result.plan is None or not config.use_simulator:
+    result = artifact.result
+    plan = result.plan if result is not None else None
+    if plan is None or not config.use_simulator:
         row.update(
             {
-                "latency_ms": result.latency * 1e3,
-                "hbm_utilization": result.hbm_utilization,
-                "noc_utilization": result.noc_utilization,
-                "achieved_tflops": result.achieved_tflops,
-                **{f"breakdown_{k}_ms": v * 1e3 for k, v in result.breakdown.items()},
+                "latency_ms": artifact.latency * 1e3,
+                "hbm_utilization": artifact.hbm_utilization,
+                "noc_utilization": artifact.noc_utilization,
+                "achieved_tflops": artifact.achieved_tflops,
+                **{f"breakdown_{k}_ms": v * 1e3 for k, v in artifact.breakdown.items()},
             }
         )
         return row
 
+    frontend = artifact.frontend
     sim = simulate_system(
-        result.plan,
-        compiler.system,
-        compiler.frontend.per_chip_graph.total_flops,
-        compiler.frontend.full_graph_flops,
-        compiler.frontend.interchip_bytes_per_step,
+        plan,
+        artifact.system,
+        frontend.per_chip_graph.total_flops,
+        frontend.full_graph_flops,
+        frontend.interchip_bytes_per_step,
     )
     row.update(
         {
@@ -111,27 +140,25 @@ def evaluate_policy(
             "noc_preload_fraction": sim.chip_result.noc_preload_fraction,
             "achieved_tflops": sim.achieved_tflops,
             **{f"breakdown_{k}_ms": v * 1e3 for k, v in sim.breakdown().items()},
-            "analytic_latency_ms": result.latency * 1e3,
+            "analytic_latency_ms": artifact.latency * 1e3,
         }
     )
     return row
 
 
-def _compiler_for(
-    workload: WorkloadSpec, system: SystemConfig, config: ExperimentConfig
-) -> ModelCompiler:
-    return ModelCompiler(workload, system, elk_options=config.elk_options())
-
-
 def compare_policies(
-    workload: WorkloadSpec, system: SystemConfig, config: ExperimentConfig
+    workload: WorkloadSpec,
+    system: SystemConfig,
+    config: ExperimentConfig,
+    session: Session | None = None,
 ) -> list[dict[str, object]]:
     """Evaluate every configured policy for one workload on one system."""
-    compiler = _compiler_for(workload, system, config)
+    session = session or make_session(config)
     rows = []
     for policy in config.policies:
         try:
-            rows.append(evaluate_policy(compiler, policy, config))
+            artifact = session.compile(make_request(workload, system, policy, config))
+            rows.append(evaluate_artifact(artifact, config))
         except ElkError as error:
             rows.append(
                 {
@@ -154,9 +181,11 @@ def end_to_end_latency(
     seq_lens: Sequence[int] = (2048, 4096),
     system: SystemConfig | None = None,
     config: ExperimentConfig = DEFAULT_CONFIG,
+    session: Session | None = None,
 ) -> list[dict[str, object]]:
     """Per-token serving latency of every model / batch / sequence / policy."""
     system = system or ipu_pod4()
+    session = session or make_session(config)
     rows: list[dict[str, object]] = []
     for model in models:
         for seq_len in seq_lens:
@@ -164,7 +193,7 @@ def end_to_end_latency(
                 workload = WorkloadSpec(
                     model, batch_size=batch, seq_len=seq_len, num_layers=config.num_layers
                 )
-                rows.extend(compare_policies(workload, system, config))
+                rows.extend(compare_policies(workload, system, config, session))
     return rows
 
 
@@ -175,9 +204,11 @@ def utilization_report(
     models: Sequence[str] = PAPER_LLM_NAMES,
     system: SystemConfig | None = None,
     config: ExperimentConfig = DEFAULT_CONFIG,
+    session: Session | None = None,
 ) -> list[dict[str, object]]:
     """Latency breakdown, HBM/NoC utilization, and TFLOPS per design (Fig. 18)."""
     system = system or ipu_pod4()
+    session = session or make_session(config)
     rows: list[dict[str, object]] = []
     for model in models:
         workload = WorkloadSpec(
@@ -186,7 +217,7 @@ def utilization_report(
             seq_len=config.seq_len,
             num_layers=config.num_layers,
         )
-        rows.extend(compare_policies(workload, system, config))
+        rows.extend(compare_policies(workload, system, config, session))
     return rows
 
 
@@ -198,8 +229,10 @@ def hbm_bandwidth_sweep(
     hbm_bandwidths: Sequence[float] = (4 * TB, 8 * TB, 12 * TB, 16 * TB),
     topologies: Sequence[str] = (ALL_TO_ALL, MESH_2D),
     config: ExperimentConfig = DEFAULT_CONFIG,
+    session: Session | None = None,
 ) -> list[dict[str, object]]:
     """Per-token latency and NoC utilization at varied HBM bandwidths."""
+    session = session or make_session(config)
     rows: list[dict[str, object]] = []
     for topology in topologies:
         for bandwidth in hbm_bandwidths:
@@ -211,7 +244,7 @@ def hbm_bandwidth_sweep(
                     seq_len=config.seq_len,
                     num_layers=config.num_layers,
                 )
-                for row in compare_policies(workload, system, config):
+                for row in compare_policies(workload, system, config, session):
                     row["topology"] = topology
                     row["hbm_bandwidth_TBps"] = bandwidth / 1e12
                     rows.append(row)
@@ -227,8 +260,10 @@ def noc_bandwidth_sweep(
     hbm_bandwidths: Sequence[float] = (8 * TB, 12 * TB, 16 * TB),
     topologies: Sequence[str] = (ALL_TO_ALL, MESH_2D),
     config: ExperimentConfig = DEFAULT_CONFIG,
+    session: Session | None = None,
 ) -> list[dict[str, object]]:
     """Per-token latency at varied total interconnect bandwidths (Fig. 22)."""
+    session = session or make_session(config)
     rows: list[dict[str, object]] = []
     for topology in topologies:
         for hbm_bandwidth in hbm_bandwidths:
@@ -242,7 +277,7 @@ def noc_bandwidth_sweep(
                     seq_len=config.seq_len,
                     num_layers=config.num_layers,
                 )
-                for row in compare_policies(workload, system, config):
+                for row in compare_policies(workload, system, config, session):
                     row["topology"] = topology
                     row["hbm_bandwidth_TBps"] = hbm_bandwidth / 1e12
                     row["noc_bandwidth_TBps"] = noc_bandwidth / 1e12
@@ -257,8 +292,10 @@ def core_count_sweep(
     models: Sequence[str] = PAPER_LLM_NAMES + ("dit-xl",),
     core_counts: Sequence[int] = (736, 1104, 1472),
     config: ExperimentConfig = DEFAULT_CONFIG,
+    session: Session | None = None,
 ) -> list[dict[str, object]]:
     """Per-token latency at varied core counts (2.7 GB/s of HBM per core)."""
+    session = session or make_session(config)
     rows: list[dict[str, object]] = []
     for model in models:
         is_dit = model.startswith("dit") or model.startswith("tiny-dit")
@@ -274,7 +311,7 @@ def core_count_sweep(
                 seq_len=config.seq_len,
                 num_layers=config.num_layers,
             )
-            for row in compare_policies(workload, system, config):
+            for row in compare_policies(workload, system, config, session):
                 row["cores_per_chip"] = cores
                 row["total_cores"] = system.total_cores
                 rows.append(row)
@@ -291,12 +328,14 @@ def training_flops_sweep(
     noc_bandwidths_tbps: Sequence[float] = (32, 48),
     topologies: Sequence[str] = (ALL_TO_ALL, MESH_2D),
     config: ExperimentConfig = DEFAULT_CONFIG,
+    session: Session | None = None,
 ) -> list[dict[str, object]]:
     """Achieved TFLOPS for the training forward pass (Fig. 24)."""
     policies = tuple(p for p in config.policies if p in ("static", "elk-full", "ideal"))
     train_config = replace(
         config, policies=policies, batch_size=4, seq_len=min(config.seq_len, 2048)
     )
+    session = session or make_session(train_config)
     rows: list[dict[str, object]] = []
     for topology in topologies:
         for hbm_gbps in hbm_bandwidths_gbps:
@@ -314,7 +353,7 @@ def training_flops_sweep(
                         phase="training_forward",
                         num_layers=train_config.num_layers,
                     )
-                    for row in compare_policies(workload, system, train_config):
+                    for row in compare_policies(workload, system, train_config, session):
                         row["topology"] = topology
                         row["hbm_bandwidth_GBps"] = hbm_gbps
                         row["noc_bandwidth_TBps"] = noc_tbps
@@ -330,23 +369,25 @@ def execution_space_profile(
     models: Sequence[str] = ("llama2-13b", "gemma2-27b", "opt-30b"),
     labels: Sequence[str] = ("Attention_QKV", "Attention_Head", "Layer_Norm", "Output_FFN"),
     config: ExperimentConfig = DEFAULT_CONFIG,
+    session: Session | None = None,
 ) -> list[dict[str, object]]:
     """Pareto points (execution space, execution time) of representative operators."""
     system = ipu_pod4()
+    session = session or make_session(config)
+    chip = system.chip
     rows: list[dict[str, object]] = []
     for model in models:
         workload = WorkloadSpec(
             model, batch_size=config.batch_size, seq_len=config.seq_len, num_layers=1
         )
-        compiler = _compiler_for(workload, system, config)
-        graph = compiler.frontend.per_chip_graph
-        cost_model = AnalyticCostModel(compiler.chip)
+        graph = session.frontend(workload, system).per_chip_graph
+        cost_model = session.cost_model(chip)
         seen_labels: set[str] = set()
         for op in graph:
             if op.label not in labels or op.label in seen_labels:
                 continue
             seen_labels.add(op.label)
-            plans = enumerate_execute_plans(op, compiler.chip)
+            plans = enumerate_execute_plans(op, chip)
             frontier = frontier_from_plans(
                 plans,
                 memory_of=lambda p: p.exec_space_bytes,
@@ -372,9 +413,12 @@ def preload_space_hbm_demand(
     models: Sequence[str] = ("llama2-13b", "gemma2-27b", "opt-30b"),
     preload_space_kib: Sequence[int] = (128, 256, 384),
     config: ExperimentConfig = DEFAULT_CONFIG,
+    session: Session | None = None,
 ) -> list[dict[str, object]]:
     """HBM bandwidth demand statistics for different fixed preload spaces."""
     system = ipu_pod4()
+    session = session or make_session(config)
+    chip = system.chip
     rows: list[dict[str, object]] = []
     for model in models:
         workload = WorkloadSpec(
@@ -383,18 +427,19 @@ def preload_space_hbm_demand(
             seq_len=config.seq_len,
             num_layers=config.num_layers,
         )
-        compiler = _compiler_for(workload, system, config)
+        frontend = session.frontend(workload, system)
+        profiles = session.profiles(workload, system)
         evaluator = TimelineEvaluator(
-            compiler.chip, total_flops=compiler.frontend.per_chip_graph.total_flops
+            chip, total_flops=frontend.per_chip_graph.total_flops
         )
-        budget = compiler.chip.per_core_usable_sram
+        budget = chip.per_core_usable_sram
         for space_kib in preload_space_kib:
             fraction = min(0.9, (space_kib * KiB) / budget)
             static = StaticCompiler(
-                compiler.profiles,
-                compiler.cost_model,
-                compiler.chip,
-                total_flops=compiler.frontend.per_chip_graph.total_flops,
+                profiles,
+                session.cost_model(chip),
+                chip,
+                total_flops=frontend.per_chip_graph.total_flops,
                 options=StaticOptions(preload_fractions=(fraction,)),
             )
             plan, _ = static.plan(model_name=model)
@@ -419,9 +464,12 @@ def preload_space_hbm_demand(
 def min_max_preload_demand(
     models: Sequence[str] = ("llama2-13b", "gemma2-27b", "opt-30b"),
     config: ExperimentConfig = DEFAULT_CONFIG,
+    session: Session | None = None,
 ) -> list[dict[str, object]]:
     """Inter-core and total NoC demand for MinPreload vs MaxPreload plans."""
     system = ipu_pod4()
+    session = session or make_session(config)
+    chip = system.chip
     rows: list[dict[str, object]] = []
     for model in models:
         workload = WorkloadSpec(
@@ -430,16 +478,16 @@ def min_max_preload_demand(
             seq_len=config.seq_len,
             num_layers=config.num_layers,
         )
-        compiler = _compiler_for(workload, system, config)
+        frontend = session.frontend(workload, system)
         evaluator = TimelineEvaluator(
-            compiler.chip, total_flops=compiler.frontend.per_chip_graph.total_flops
+            chip, total_flops=frontend.per_chip_graph.total_flops
         )
         for mode, use_max in (("MinPreload", False), ("MaxPreload", True)):
             static = StaticCompiler(
-                compiler.profiles,
-                compiler.cost_model,
-                compiler.chip,
-                total_flops=compiler.frontend.per_chip_graph.total_flops,
+                session.profiles(workload, system),
+                session.cost_model(chip),
+                chip,
+                total_flops=frontend.per_chip_graph.total_flops,
                 options=StaticOptions(preload_fractions=(0.5,)),
             )
             plan = static._build_plan(0.5, use_max, model)
@@ -490,7 +538,13 @@ def compile_time_report(
     batch_sizes: Sequence[int] = (2, 8, 32, 64),
     config: ExperimentConfig = DEFAULT_CONFIG,
 ) -> list[dict[str, object]]:
-    """Elk-Full compile time for varied models and batch sizes."""
+    """Elk-Full compile time for varied models and batch sizes.
+
+    Unlike the other runners this one does *not* accept a shared session:
+    the measured quantity is cold compile time, so every workload gets a
+    fresh session and the artifact's ``compile_seconds`` covers the full
+    frontend + profile + scheduling work.
+    """
     system = ipu_pod4()
     rows: list[dict[str, object]] = []
     for model in models:
@@ -498,10 +552,10 @@ def compile_time_report(
             workload = WorkloadSpec(
                 model, batch_size=batch, seq_len=config.seq_len, num_layers=config.num_layers
             )
-            compiler = _compiler_for(workload, system, config)
-            started = time.perf_counter()
-            result = compiler.compile("elk-full")
-            elapsed = time.perf_counter() - started
+            artifact = make_session(config).compile(
+                make_request(workload, system, "elk-full", config)
+            )
+            elapsed = artifact.compile_seconds
             layers = get_config(model).num_layers if not model.startswith("tiny") else config.num_layers
             scale = layers / max(1, config.num_layers)
             rows.append(
@@ -511,8 +565,8 @@ def compile_time_report(
                     "layers_compiled": config.num_layers,
                     "compile_seconds": elapsed,
                     "projected_full_model_seconds": elapsed * scale,
-                    "orders_evaluated": result.search_stats.num_candidate_orders
-                    if result.search_stats
+                    "orders_evaluated": artifact.search_stats["num_candidate_orders"]
+                    if artifact.search_stats
                     else 1,
                 }
             )
@@ -525,9 +579,11 @@ def compile_time_report(
 def model_stats_table(
     models: Sequence[str] = PAPER_LLM_NAMES + ("dit-xl",),
     config: ExperimentConfig = DEFAULT_CONFIG,
+    session: Session | None = None,
 ) -> list[dict[str, object]]:
     """The C / H / P / K / N factors of Table 2 for every evaluation model."""
     system = ipu_pod4()
+    session = session or make_session(config)
     rows: list[dict[str, object]] = []
     for model in models:
         is_dit = model.startswith("dit") or model.startswith("tiny-dit")
@@ -537,22 +593,25 @@ def model_stats_table(
             seq_len=config.seq_len,
             num_layers=config.num_layers,
         )
-        compiler = _compiler_for(workload, system, config)
-        scheduler_stats = compiler.compile("elk-full").search_stats
+        stats = (
+            session.compile(make_request(workload, system, "elk-full", config)).search_stats
+            or {}
+        )
         model_config = get_config(model)
         full_layers = model_config.num_layers
         ops_per_layer = (
-            len(compiler.frontend.per_chip_graph) / max(1, config.num_layers)
+            len(session.frontend(workload, system).per_chip_graph)
+            / max(1, config.num_layers)
         )
         rows.append(
             {
                 "model": model,
-                "C_heavy_on_chip": scheduler_stats.max_heavy_on_chip if scheduler_stats else 0,
-                "H_heavy_per_layer": scheduler_stats.heavy_per_layer if scheduler_stats else 0,
-                "P_max_plans": scheduler_stats.max_plans_per_operator if scheduler_stats else 0,
-                "K_ops_on_chip": scheduler_stats.max_operators_on_chip if scheduler_stats else 0,
+                "C_heavy_on_chip": stats.get("max_heavy_on_chip", 0),
+                "H_heavy_per_layer": stats.get("heavy_per_layer", 0),
+                "P_max_plans": stats.get("max_plans_per_operator", 0),
+                "K_ops_on_chip": stats.get("max_operators_on_chip", 0),
                 "N_total_ops_full_model": int(ops_per_layer * full_layers),
-                "N_ops_compiled": scheduler_stats.num_operators if scheduler_stats else 0,
+                "N_ops_compiled": stats.get("num_operators", 0),
             }
         )
     return rows

@@ -15,7 +15,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.scheduler.plan import ExecutionPlan
 from repro.scheduler.timeline import TimelineResult
 
 

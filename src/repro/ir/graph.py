@@ -11,14 +11,13 @@ consistency and identify layer boundaries for the preload-order pruning rules
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
 
 import networkx as nx
 
 from repro.errors import GraphError
 from repro.ir.operators import Operator
-from repro.ir.tensor import TensorSpec
 
 
 @dataclass

@@ -8,7 +8,7 @@ paper (Table 2): Llama2-13B, Gemma2-27B, OPT-30B, Llama2-70B, and DiT-XL.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 from repro.ir.dtypes import FP16, DType

@@ -9,7 +9,6 @@ across identical layers allows.
 
 from __future__ import annotations
 
-from typing import Callable
 
 from repro.errors import ConfigurationError
 from repro.ir.graph import OperatorGraph

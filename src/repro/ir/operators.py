@@ -13,7 +13,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from math import prod
-from typing import Iterable, Mapping, Sequence
+from typing import Sequence
 
 from repro.errors import ShapeError, UnknownOperatorError
 from repro.ir.tensor import TensorSpec, TensorUsage

@@ -15,7 +15,7 @@ the data originates, which drives HBM preload volume accounting:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import prod
 from typing import Iterable
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import prod
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.arch.chip import ChipConfig
 from repro.errors import PartitionError

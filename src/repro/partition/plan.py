@@ -17,7 +17,7 @@ exist, mirroring §4.3 of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import prod
 
 from repro.errors import PartitionError

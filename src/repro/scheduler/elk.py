@@ -74,6 +74,8 @@ class ElkScheduler:
         chip: Target chip configuration.
         cost_model: Cost model (defaults to the analytic model of the chip).
         options: Scheduler knobs.
+        profiles: Precomputed per-operator profiles for ``graph`` (e.g. shared
+            across policies by the compile pipeline); built lazily if omitted.
     """
 
     def __init__(
@@ -82,12 +84,13 @@ class ElkScheduler:
         chip: ChipConfig,
         cost_model: CostModel | None = None,
         options: ElkOptions | None = None,
+        profiles: Sequence[OperatorProfile] | None = None,
     ) -> None:
         self.graph = graph
         self.chip = chip
         self.cost_model = cost_model or AnalyticCostModel(chip)
         self.options = options or ElkOptions()
-        self._profiles: list[OperatorProfile] | None = None
+        self._profiles = list(profiles) if profiles is not None else None
 
     # ------------------------------------------------------------------ stages
     @property

@@ -16,7 +16,7 @@ preload-order permutation plugs into the same scheduling pass.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.cost.model import CostModel

@@ -11,7 +11,6 @@ evaluator (:mod:`repro.scheduler.timeline`) and the event-driven simulator
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
 
 from repro.errors import SchedulingError
 from repro.ir.graph import OperatorGraph

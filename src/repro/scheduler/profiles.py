@@ -11,7 +11,6 @@ numbers and candidate preload orders.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.arch.chip import ChipConfig
 from repro.cost.model import CostModel, ExecutionCost

@@ -19,7 +19,7 @@ it per link.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.arch.chip import ChipConfig

@@ -12,7 +12,6 @@ the analytic timeline evaluator.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError

@@ -10,7 +10,7 @@ SRAM port bandwidth — without simulating every packet.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import SimulationError
 

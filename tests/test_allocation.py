@@ -5,7 +5,6 @@ import itertools
 import pytest
 
 from repro.scheduler.allocation import MemoryAllocator
-from repro.scheduler.profiles import build_operator_profiles
 
 
 @pytest.fixture(scope="module")

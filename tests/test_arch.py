@@ -5,7 +5,6 @@ import pytest
 from repro.arch import (
     ALL_TO_ALL,
     MESH_2D,
-    ChipConfig,
     CoreConfig,
     HBMConfig,
     InterconnectConfig,

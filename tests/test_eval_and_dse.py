@@ -4,7 +4,6 @@ import os
 
 import pytest
 
-from repro.arch import scaled_system
 from repro.compiler import WorkloadSpec
 from repro.dse import DesignPoint, DesignSpaceExplorer
 from repro.eval import (

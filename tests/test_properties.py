@@ -1,6 +1,5 @@
 """Property-based tests over core invariants of the compiler stack."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
