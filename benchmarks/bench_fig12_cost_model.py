@@ -1,12 +1,21 @@
-"""Figure 12: accuracy of the fitted (linear-tree) cost model."""
+"""Figure 12: accuracy of the fitted (linear-tree) cost model.
+
+Runs through the ``repro.api`` Session layer like every other benchmark,
+but on a dedicated session whose ``cost_model_factory`` builds fitted
+models — the process-wide analytic session in ``_common`` would hand back
+the wrong model family.
+"""
 
 from _common import report
 
-from repro.eval import cost_model_accuracy
+from repro.eval import cost_model_accuracy, make_fitted_session
+
+#: Dedicated session: one fitted cost model cached per distinct chip.
+FITTED_SESSION = make_fitted_session(seed=7)
 
 
 def _rows():
-    return cost_model_accuracy(samples_per_op=120, seed=7)
+    return cost_model_accuracy(samples_per_op=120, seed=7, session=FITTED_SESSION)
 
 
 def test_fig12_cost_model_accuracy(benchmark):
@@ -15,6 +24,7 @@ def test_fig12_cost_model_accuracy(benchmark):
         "fig12_cost_model",
         "Fig. 12: predicted vs measured per-core execution / transfer times",
         rows,
+        session=None,  # the fitted session compiles nothing to persist
     )
     for row in rows:
         assert row["r_squared"] > 0.7, row

@@ -1,0 +1,87 @@
+"""Serving sweep: goodput and tail latency across arrival rate × policy.
+
+The serving-layer counterpart of the latency figures: the interactive-chat
+scenario replayed at several arrival-rate multiples under every compiler
+policy that produces an execution plan, all through ONE shared compile
+session — so each bucketed (workload, policy, batch-bucket) step plan
+compiles exactly once for the whole sweep, however many rate points reuse
+it.
+"""
+
+from _common import FULL, report
+
+from repro.serve import make_serving_session, simulate_scenario
+
+#: Plan-producing policies (rooflines have no plan to serve with).
+SWEEP_POLICIES = ("basic", "static", "elk-dyn", "elk-full")
+
+RATE_SCALES = (0.5, 1.0, 2.0, 4.0, 8.0) if FULL else (1.0, 4.0)
+NUM_REQUESTS = 96 if FULL else 32
+SCENARIO = "interactive-chat"
+
+
+def _sweep(session, shapes_by_policy):
+    rows = []
+    for policy in SWEEP_POLICIES:
+        for rate_scale in RATE_SCALES:
+            result = simulate_scenario(
+                SCENARIO,
+                policy=policy,
+                num_requests=NUM_REQUESTS,
+                seed=11,
+                rate_scale=rate_scale,
+                session=session,
+            )
+            shapes_by_policy.setdefault(policy, set()).update(
+                result.compiled_shapes
+            )
+            row = {
+                "scenario": SCENARIO,
+                "policy": policy,
+                "rate_scale": rate_scale,
+                "iterations": result.num_iterations,
+            }
+            row.update(result.metrics().summary())
+            rows.append(row)
+    return rows
+
+
+def test_serving_rate_policy_sweep(benchmark):
+    session = make_serving_session()
+    shapes_by_policy: dict[str, set] = {}
+    rows = benchmark.pedantic(
+        _sweep, args=(session, shapes_by_policy), rounds=1, iterations=1
+    )
+    report(
+        "serving_sweep",
+        "Serving: goodput under SLO across arrival rate x compiler policy",
+        rows,
+        columns=[
+            "scenario", "policy", "rate_scale", "throughput_rps",
+            "goodput_rps", "goodput_fraction", "ttft_p50_ms", "ttft_p99_ms",
+            "tpot_p99_ms", "utilization",
+        ],
+        session=None,  # serving artifacts are per-sweep, not figure-shaped
+    )
+    assert len(rows) == len(SWEEP_POLICIES) * len(RATE_SCALES)
+
+    # The shared session deduplicates (workload, policy, batch-bucket)
+    # requests across the sweep: session-level compiles equal the number of
+    # DISTINCT bucketed shapes per policy, and every repeat across rate
+    # points lands as a cache hit.
+    stats = session.stats.snapshot()
+    distinct_shapes = sum(len(shapes) for shapes in shapes_by_policy.values())
+    assert stats["compiles"] == distinct_shapes, (stats, shapes_by_policy)
+    assert stats["result_hits"] > 0, stats
+
+    # Per policy, SLO attainment must not improve as offered load grows.
+    for policy in SWEEP_POLICIES:
+        series = sorted(
+            (row for row in rows if row["policy"] == policy),
+            key=lambda row: row["rate_scale"],
+        )
+        fractions = [row["goodput_fraction"] for row in series]
+        assert all(
+            later <= earlier + 1e-9
+            for earlier, later in zip(fractions, fractions[1:])
+        ), (policy, fractions)

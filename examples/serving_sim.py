@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Request-level serving simulation across the named scenario library.
+
+Runs every registered serving scenario (interactive chat, bursty chat,
+offline batch, diffusion serving, mixed traffic) through the continuous-
+batching simulator on the scaled single-chip system and prints the standard
+serving section: TTFT/TPOT, p50/p95/p99 latency, throughput, and goodput
+under each scenario's SLO.  All scenarios share one compile session, so a
+bucketed step plan compiles at most once across the whole run.
+
+Run with::
+
+    python examples/serving_sim.py
+    python examples/serving_sim.py --scenarios interactive-chat --num-requests 8
+    python examples/serving_sim.py --rate-scale 4 --policy static
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.eval import format_serving_summary
+from repro.serve import (
+    available_scenarios,
+    make_serving_session,
+    scenario_descriptions,
+    simulate_scenario,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--scenarios",
+        nargs="*",
+        default=None,
+        choices=available_scenarios(),
+        help="scenarios to run (default: all registered)",
+    )
+    parser.add_argument("--num-requests", type=int, default=48)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rate-scale", type=float, default=1.0)
+    parser.add_argument("--policy", default="elk-full")
+    args = parser.parse_args()
+
+    names = args.scenarios or available_scenarios()
+    descriptions = scenario_descriptions()
+    session = make_serving_session()
+
+    runs = []
+    for name in names:
+        print(f"[{name}] {descriptions[name]}")
+        result = simulate_scenario(
+            name,
+            policy=args.policy,
+            num_requests=args.num_requests,
+            seed=args.seed,
+            rate_scale=args.rate_scale,
+            session=session,
+        )
+        runs.append(
+            (
+                {
+                    "scenario": name,
+                    "policy": args.policy,
+                    "rate_scale": args.rate_scale,
+                },
+                result.metrics(),
+            )
+        )
+
+    print()
+    print(format_serving_summary(runs))
+    stats = session.stats.snapshot()
+    print(
+        f"\n[session] {stats['compiles']} bucketed step plans compiled, "
+        f"{stats['result_hits']} cache reuses across scenarios"
+    )
+
+
+if __name__ == "__main__":
+    main()

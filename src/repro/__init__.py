@@ -42,6 +42,17 @@ the registry without touching the pipeline::
 
 For one-shot use, ``ModelCompiler(workload, system).compile("elk-full")``
 still works and serves every registered policy.
+
+Above the per-step world, :mod:`repro.serve` simulates *request-level*
+serving: seeded arrival traces (Poisson, bursty, diurnal, replay) run
+through a continuously-batched engine whose bucketed step plans compile once
+through a shared session, reporting TTFT/TPOT, tail latency, throughput, and
+goodput under SLO::
+
+    from repro import simulate_scenario
+
+    result = simulate_scenario("interactive-chat", num_requests=64, seed=0)
+    print(result.metrics().summary())
 """
 
 from repro.api import (
@@ -80,6 +91,30 @@ from repro.errors import ElkError
 from repro.ir import Operator, OperatorGraph, TensorSpec
 from repro.ir.models import available_models, build_model
 from repro.scheduler import ElkOptions, ElkScheduler, ExecutionPlan
+from repro.serve import (
+    ArrivalTrace,
+    BatchBuckets,
+    RequestShape,
+    RequestSpec,
+    ServingMetrics,
+    ServingResult,
+    ServingScenario,
+    ServingSimulator,
+    SLOSpec,
+    StepLatencyModel,
+    available_scenarios,
+    batch_trace,
+    bursty_trace,
+    diurnal_trace,
+    get_scenario,
+    make_serving_session,
+    poisson_trace,
+    register_scenario,
+    replay_trace,
+    save_trace,
+    simulate_scenario,
+    simulate_serving,
+)
 from repro.sim import ChipSimulator, simulate_system
 
 __version__ = "1.0.0"
@@ -119,6 +154,28 @@ __all__ = [
     "ElkOptions",
     "ElkScheduler",
     "ExecutionPlan",
+    "ArrivalTrace",
+    "BatchBuckets",
+    "RequestShape",
+    "RequestSpec",
+    "ServingMetrics",
+    "ServingResult",
+    "ServingScenario",
+    "ServingSimulator",
+    "SLOSpec",
+    "StepLatencyModel",
+    "available_scenarios",
+    "batch_trace",
+    "bursty_trace",
+    "diurnal_trace",
+    "get_scenario",
+    "make_serving_session",
+    "poisson_trace",
+    "register_scenario",
+    "replay_trace",
+    "save_trace",
+    "simulate_scenario",
+    "simulate_serving",
     "ChipSimulator",
     "simulate_system",
     "__version__",

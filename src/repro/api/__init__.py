@@ -13,6 +13,13 @@ sweep-shaped work (the evaluation harness, the DSE explorer, benchmarks):
 One-shot use stays on :class:`repro.compiler.ModelCompiler`; anything that
 compiles the same workload or system more than once should go through a
 :class:`Session`.
+
+The request-level serving layer (:mod:`repro.serve`) is the service's
+largest client: :class:`StepLatencyModel` compiles one bucketed step plan
+per (model, phase, batch, context) through a shared session, and
+:func:`simulate_scenario` drives a whole named serving study through it.
+Both are re-exported here because they are how sessions are consumed at
+serving scale.
 """
 
 from repro.api.artifacts import (
@@ -23,6 +30,25 @@ from repro.api.artifacts import (
 )
 from repro.api.service import CompileRequest, Session, SessionStats
 
+#: Serving-layer names re-exported lazily (PEP 562): repro.serve builds on
+#: repro.api.service, so importing it eagerly here would create an
+#: import-order-sensitive cycle.
+_SERVE_EXPORTS = {
+    "StepLatencyModel": "repro.serve.batching",
+    "make_serving_session": "repro.serve.scenarios",
+    "simulate_scenario": "repro.serve.scenarios",
+}
+
+
+def __getattr__(name: str):
+    module_name = _SERVE_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
     "CompileArtifact",
@@ -31,4 +57,7 @@ __all__ = [
     "CompileRequest",
     "Session",
     "SessionStats",
+    "StepLatencyModel",
+    "make_serving_session",
+    "simulate_scenario",
 ]

@@ -17,7 +17,7 @@ runners (the benchmark harness does).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.api import CompileArtifact, CompileRequest, Session
 from repro.arch.chip import SystemConfig
@@ -511,12 +511,44 @@ def min_max_preload_demand(
 # --------------------------------------------------------------------------- #
 # Figure 12: cost-model accuracy.
 # --------------------------------------------------------------------------- #
+def make_fitted_session(
+    fit_samples_per_op: int = 200, seed: int = 7, **session_kwargs
+) -> Session:
+    """A session whose cost models are fitted (linear-tree) models.
+
+    Routing the fitted models through :meth:`Session.cost_model` caches one
+    fitted model per distinct chip, so accuracy reports and any compilation
+    sharing the session fit each chip once.
+    """
+    return Session(
+        cost_model_factory=lambda chip: FittedCostModel(
+            chip, samples_per_op=fit_samples_per_op, seed=seed
+        ),
+        **session_kwargs,
+    )
+
+
 def cost_model_accuracy(
-    samples_per_op: int = 120, seed: int = 7
+    samples_per_op: int = 120, seed: int = 7, session: Session | None = None
 ) -> list[dict[str, object]]:
-    """Predicted-vs-measured accuracy of the fitted linear-tree cost model."""
+    """Predicted-vs-measured accuracy of the fitted linear-tree cost model.
+
+    Args:
+        samples_per_op: Held-out measurement samples per operator target.
+        seed: Seed for both fitting and measurement sampling.
+        session: Session supplying the fitted cost model via its
+            ``cost_model_factory`` (default: a fresh
+            :func:`make_fitted_session`).  Sessions whose factory does not
+            produce fitted models are rejected.
+    """
     chip = ipu_pod4().chip
-    fitted = FittedCostModel(chip, samples_per_op=200, seed=seed)
+    session = session or make_fitted_session(seed=seed)
+    fitted = session.cost_model(chip)
+    if not isinstance(fitted, FittedCostModel):
+        raise ElkError(
+            "cost_model_accuracy needs a session built by make_fitted_session "
+            f"(got a {type(fitted).__name__} from the session factory)"
+        )
     rows = []
     for report in fitted.accuracy_reports(samples_per_op=samples_per_op, seed=seed + 1):
         rows.append(
@@ -537,22 +569,28 @@ def compile_time_report(
     models: Sequence[str] = PAPER_LLM_NAMES,
     batch_sizes: Sequence[int] = (2, 8, 32, 64),
     config: ExperimentConfig = DEFAULT_CONFIG,
+    session_factory: Callable[[], Session] | None = None,
 ) -> list[dict[str, object]]:
     """Elk-Full compile time for varied models and batch sizes.
 
     Unlike the other runners this one does *not* accept a shared session:
-    the measured quantity is cold compile time, so every workload gets a
-    fresh session and the artifact's ``compile_seconds`` covers the full
-    frontend + profile + scheduling work.
+    the measured quantity is COLD compile time, so ``session_factory`` is
+    invoked per workload (default: ``make_session(config)``) and the
+    artifact's ``compile_seconds`` covers the full frontend + profile +
+    scheduling work.  Factories returning a shared or pre-warmed session
+    would report cache-hit times and are the caller's responsibility to
+    avoid.
     """
     system = ipu_pod4()
+    if session_factory is None:
+        session_factory = lambda: make_session(config)  # noqa: E731
     rows: list[dict[str, object]] = []
     for model in models:
         for batch in batch_sizes:
             workload = WorkloadSpec(
                 model, batch_size=batch, seq_len=config.seq_len, num_layers=config.num_layers
             )
-            artifact = make_session(config).compile(
+            artifact = session_factory().compile(
                 make_request(workload, system, "elk-full", config)
             )
             elapsed = artifact.compile_seconds

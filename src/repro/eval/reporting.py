@@ -1,4 +1,10 @@
-"""Result tables: formatting and persistence for the benchmark harness."""
+"""Result tables: formatting and persistence for the benchmark harness.
+
+Besides generic table formatting, this module defines the standard *serving
+section*: the column layout and row-flattening for request-level serving
+results (TTFT/TPOT, tail latency, throughput, goodput under SLO) produced by
+:mod:`repro.serve`.
+"""
 
 from __future__ import annotations
 
@@ -58,6 +64,72 @@ def save_results(
     with open(os.path.splitext(path)[0] + ".json", "w", encoding="utf-8") as handle:
         json.dump(list(rows), handle, indent=2, default=str)
     return text
+
+
+# --------------------------------------------------------------------------- #
+# Serving reports.  The serving simulator's ServingMetrics reduce to flat
+# summary dicts; these helpers lay them out as the standard serving section
+# (one row per scenario / policy / rate point) without this module depending
+# on repro.serve.
+# --------------------------------------------------------------------------- #
+
+#: Column order of the standard serving section.
+SERVING_SUMMARY_COLUMNS = (
+    "scenario",
+    "policy",
+    "rate_scale",
+    "requests",
+    "throughput_rps",
+    "tokens_per_s",
+    "goodput_rps",
+    "goodput_fraction",
+    "ttft_p50_ms",
+    "ttft_p99_ms",
+    "tpot_p50_ms",
+    "tpot_p99_ms",
+    "e2e_p50_ms",
+    "e2e_p95_ms",
+    "e2e_p99_ms",
+    "utilization",
+)
+
+
+def serving_summary_rows(
+    runs: Iterable[tuple[Mapping[str, object], object]],
+) -> list[dict[str, object]]:
+    """Flatten serving runs into result rows.
+
+    Args:
+        runs: ``(labels, metrics)`` pairs — ``labels`` identifies the run
+            (scenario, policy, rate_scale, ...) and ``metrics`` is a
+            :class:`~repro.serve.metrics.ServingMetrics` (anything with a
+            ``summary()`` dict works).
+
+    Returns:
+        One flat row per run, labels first.
+    """
+    rows = []
+    for labels, metrics in runs:
+        row = dict(labels)
+        summary = metrics.summary() if hasattr(metrics, "summary") else dict(metrics)
+        row.update(summary)
+        rows.append(row)
+    return rows
+
+
+def format_serving_summary(
+    runs: Iterable[tuple[Mapping[str, object], object]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Format serving runs as the standard serving section table."""
+    rows = serving_summary_rows(runs)
+    if not rows:
+        return ""
+    if columns is None:
+        columns = [c for c in SERVING_SUMMARY_COLUMNS if any(c in r for r in rows)]
+        known = set(SERVING_SUMMARY_COLUMNS)
+        columns += [c for c in rows[0] if c not in known]
+    return format_table(rows, columns)
 
 
 def geometric_mean(values: Iterable[float]) -> float:

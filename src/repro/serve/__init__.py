@@ -1,0 +1,97 @@
+"""Request-level serving simulation on top of the compiler and simulators.
+
+The layers below this package answer "how long does one model step take under
+a compiler policy?"; :mod:`repro.serve` answers the production question —
+"what TTFT/TPOT, tail latency, throughput, and goodput does a *traffic mix*
+see?" — by replaying seeded arrival traces through a continuously-batched
+serving engine whose per-step latencies come from execution plans compiled
+once per batch bucket through a shared :class:`repro.api.Session`.
+
+Quickstart::
+
+    from repro.serve import simulate_scenario
+
+    result = simulate_scenario("interactive-chat", num_requests=64, seed=0)
+    print(result.metrics().summary())
+
+The pieces compose individually: build a trace
+(:func:`poisson_trace` / :func:`bursty_trace` / :func:`diurnal_trace` /
+:func:`batch_trace` / :func:`replay_trace`), a
+:class:`StepLatencyModel` over your session/system/policy, and run it
+through :class:`ServingSimulator`.  New scenarios register by name via
+:func:`register_scenario`, exactly like compiler policies.
+"""
+
+from repro.serve.batching import (
+    Batch,
+    BatchBuckets,
+    ContinuousBatcher,
+    RequestState,
+    StepLatencyModel,
+)
+from repro.serve.metrics import (
+    RequestRecord,
+    ServingMetrics,
+    SLOSpec,
+    compute_metrics,
+    percentile,
+)
+from repro.serve.scenarios import (
+    ServingScenario,
+    available_scenarios,
+    get_scenario,
+    make_serving_session,
+    register_scenario,
+    scenario_descriptions,
+    simulate_scenario,
+    unregister_scenario,
+)
+from repro.serve.simulator import ServingResult, ServingSimulator, simulate_serving
+from repro.serve.workload import (
+    TRACE_GENERATORS,
+    TRACE_SCHEMA_VERSION,
+    ArrivalTrace,
+    RequestShape,
+    RequestSpec,
+    batch_trace,
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+    replay_trace,
+    save_trace,
+)
+
+__all__ = [
+    "Batch",
+    "BatchBuckets",
+    "ContinuousBatcher",
+    "RequestState",
+    "StepLatencyModel",
+    "RequestRecord",
+    "ServingMetrics",
+    "SLOSpec",
+    "compute_metrics",
+    "percentile",
+    "ServingScenario",
+    "available_scenarios",
+    "get_scenario",
+    "make_serving_session",
+    "register_scenario",
+    "scenario_descriptions",
+    "simulate_scenario",
+    "unregister_scenario",
+    "ServingResult",
+    "ServingSimulator",
+    "simulate_serving",
+    "TRACE_GENERATORS",
+    "TRACE_SCHEMA_VERSION",
+    "ArrivalTrace",
+    "RequestShape",
+    "RequestSpec",
+    "batch_trace",
+    "bursty_trace",
+    "diurnal_trace",
+    "poisson_trace",
+    "replay_trace",
+    "save_trace",
+]

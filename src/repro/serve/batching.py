@@ -1,0 +1,438 @@
+"""Continuous batching: batch-size buckets, compiled step latencies, admission.
+
+A serving engine cannot compile a fresh execution plan for every batch
+composition it encounters — production systems compile a small set of
+*bucketed* shapes ahead of time and run each iteration on the smallest
+bucket that fits.  :class:`BatchBuckets` defines those shapes (batch sizes
+and context lengths), :class:`StepLatencyModel` compiles one plan per
+(model, phase, bucket) through a shared :class:`repro.api.Session` — so a
+rate × policy sweep never recompiles a duplicate (workload, policy, bucket)
+request — and reads the per-step latency off the event-driven simulator.
+
+:class:`ContinuousBatcher` is the queueing mechanism: FCFS admission into a
+bounded running set, iteration-boundary scheduling (requests join and leave
+between steps, never mid-step), and least-recently-served rotation between
+model groups so mixed traffic (e.g. an LLM and a DiT sharing an engine)
+cannot starve either side.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.api.service import CompileRequest, Session
+from repro.arch.chip import SystemConfig
+from repro.compiler.frontend import WorkloadSpec
+from repro.errors import ConfigurationError
+from repro.ir.models.registry import DIT_CONFIGS
+from repro.serve.workload import DIFFUSION, RequestSpec
+from repro.sim.multichip import simulate_system
+
+
+@dataclass(frozen=True)
+class BatchBuckets:
+    """The compiled shape grid of a serving engine.
+
+    Attributes:
+        batch_sizes: Allowed batch sizes, ascending; a batch of ``n`` runs on
+            the smallest bucket ``>= n``.  The largest bucket is also the
+            admission cap per model group.
+        context_buckets: Allowed context (KV / prompt) lengths, ascending;
+            a context of ``c`` tokens compiles at the smallest bucket
+            ``>= c`` (the largest bucket if ``c`` exceeds them all).
+        prefill_attention_budget: Cap on ``batch_bucket * prompt_bucket**2``
+            per prefill pass — the attention-score footprint that dominates
+            prefill SRAM.  Larger admissions prefill in chunks (chunked
+            prefill), which also keeps every compiled shape within the
+            target chip's memory.  The default is sized for the scaled
+            test/CI chips; raise it for paper-scale systems.
+    """
+
+    batch_sizes: tuple[int, ...] = (1, 2, 4, 8)
+    context_buckets: tuple[int, ...] = (256, 512, 1024, 2048)
+    prefill_attention_budget: int = 8 * 256 * 256
+
+    def __post_init__(self) -> None:
+        for name, values in (
+            ("batch_sizes", self.batch_sizes),
+            ("context_buckets", self.context_buckets),
+        ):
+            if not values or any(v < 1 for v in values) or list(values) != sorted(set(values)):
+                raise ConfigurationError(
+                    f"{name} must be non-empty, positive, strictly ascending"
+                )
+        if self.prefill_attention_budget < self.context_buckets[0] ** 2:
+            raise ConfigurationError(
+                "prefill_attention_budget must hold at least one "
+                "smallest-bucket prompt"
+            )
+
+    @property
+    def max_batch(self) -> int:
+        """The largest batch bucket (the admission cap)."""
+        return self.batch_sizes[-1]
+
+    def batch_bucket(self, n: int) -> int:
+        """Smallest batch bucket holding ``n`` requests."""
+        if n < 1:
+            raise ConfigurationError("batch size must be >= 1")
+        index = bisect.bisect_left(self.batch_sizes, n)
+        return self.batch_sizes[min(index, len(self.batch_sizes) - 1)]
+
+    def context_bucket(self, tokens: int) -> int:
+        """Smallest context bucket holding ``tokens`` (clamped to the largest)."""
+        index = bisect.bisect_left(self.context_buckets, max(1, tokens))
+        return self.context_buckets[min(index, len(self.context_buckets) - 1)]
+
+
+class StepLatencyModel:
+    """Per-step latencies of bucketed execution plans, compiled once each.
+
+    Every distinct (model, phase, batch bucket, context bucket) compiles
+    exactly once through the shared session — concurrent engines or a
+    rate-sweep over the same session all hit the same cached plans — and the
+    latency comes from the event-driven simulator
+    (:func:`repro.sim.multichip.simulate_system`) unless ``use_simulator`` is
+    off, in which case the analytic timeline latency on the artifact is used.
+
+    Attributes:
+        session: The shared compilation service.
+        system: Target system every plan is compiled for.
+        policy: Registered compiler policy to plan with.
+        buckets: The compiled shape grid.
+        num_layers: Layer-count override for the compiled workloads (scaled
+            serving studies, matching the rest of the evaluation harness).
+        stats: ``{"compiles", "hits"}`` counters of this model's own latency
+            cache (the session keeps its own compile-level counters).
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        system: SystemConfig,
+        policy: str = "elk-full",
+        *,
+        buckets: BatchBuckets | None = None,
+        num_layers: int | None = 1,
+        use_simulator: bool = True,
+    ) -> None:
+        self.session = session
+        self.system = system
+        self.policy = policy.lower()
+        self.buckets = buckets or BatchBuckets()
+        self.num_layers = num_layers
+        self.use_simulator = use_simulator
+        self.stats = {"compiles": 0, "hits": 0}
+        self._latencies: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------- public API
+    def decode_latency(self, model: str, batch_size: int, context_tokens: int) -> float:
+        """Latency of one decode step at the bucketed batch and KV length."""
+        return self._step_latency(
+            model,
+            "decode",
+            self.buckets.batch_bucket(batch_size),
+            self.buckets.context_bucket(context_tokens),
+        )
+
+    def prefill_latency(self, model: str, batch_size: int, prompt_tokens: int) -> float:
+        """Latency of one bucketed prefill pass over the admitted prompts."""
+        return self._step_latency(
+            model,
+            "prefill",
+            self.buckets.batch_bucket(batch_size),
+            self.buckets.context_bucket(prompt_tokens),
+        )
+
+    def diffusion_latency(self, model: str, batch_size: int) -> float:
+        """Latency of one denoising step at the bucketed image batch."""
+        return self._step_latency(
+            model, "diffusion", self.buckets.batch_bucket(batch_size), 0
+        )
+
+    def compiled_shapes(self) -> list[tuple]:
+        """The (model, phase, batch bucket, context bucket) shapes compiled."""
+        return sorted(self._latencies)
+
+    # --------------------------------------------------------------- internal
+    def _step_latency(
+        self, model: str, phase: str, batch_bucket: int, context_bucket: int
+    ) -> float:
+        key = (model.lower(), phase, batch_bucket, context_bucket)
+        cached = self._latencies.get(key)
+        if cached is not None:
+            self.stats["hits"] += 1
+            return cached
+        workload = self._workload(model, phase, batch_bucket, context_bucket)
+        artifact = self.session.compile(
+            CompileRequest(workload, self.system, self.policy)
+        )
+        latency = artifact.latency
+        plan = artifact.result.plan if artifact.result is not None else None
+        if self.use_simulator and plan is not None and artifact.frontend is not None:
+            frontend = artifact.frontend
+            latency = simulate_system(
+                plan,
+                self.system,
+                frontend.per_chip_graph.total_flops,
+                frontend.full_graph_flops,
+                frontend.interchip_bytes_per_step,
+            ).total_time
+        self.stats["compiles"] += 1
+        self._latencies[key] = latency
+        return latency
+
+    def _workload(
+        self, model: str, phase: str, batch_bucket: int, context_bucket: int
+    ) -> WorkloadSpec:
+        if phase == "diffusion":
+            if model.lower() not in DIT_CONFIGS:
+                raise ConfigurationError(
+                    f"{model!r} is not a registered diffusion model"
+                )
+            # The frontend builds DiT graphs regardless of phase; "decode" is
+            # the neutral phase label it accepts.
+            return WorkloadSpec(
+                model,
+                batch_size=batch_bucket,
+                phase="decode",
+                num_layers=self.num_layers,
+            )
+        return WorkloadSpec(
+            model,
+            batch_size=batch_bucket,
+            seq_len=context_bucket,
+            phase=phase,
+            num_layers=self.num_layers,
+        )
+
+
+@dataclass
+class RequestState:
+    """Mutable serving progress of one request.
+
+    Attributes:
+        spec: The request.
+        started_time: Start of the first iteration the request was scheduled
+            into (``None`` until then; admission alone does not set it).
+        first_token_time: End of the iteration that produced its first output.
+        completion_time: End of the iteration that finished it.
+        steps_done: Output units produced so far (tokens / denoise steps).
+    """
+
+    spec: RequestSpec
+    started_time: float | None = None
+    first_token_time: float | None = None
+    completion_time: float | None = None
+    steps_done: int = 0
+
+    @property
+    def group(self) -> tuple[str, str]:
+        """Batching group: requests batch only with the same (model, kind)."""
+        return (self.spec.model.lower(), self.spec.kind)
+
+    @property
+    def prefill_pending(self) -> bool:
+        """Whether the request still needs its prefill pass (LLMs only)."""
+        return self.spec.kind != DIFFUSION and self.steps_done == 0
+
+    @property
+    def context_tokens(self) -> int:
+        """Current KV length (prompt plus generated tokens)."""
+        return self.spec.prefill_tokens + self.steps_done
+
+    @property
+    def finished(self) -> bool:
+        return self.completion_time is not None
+
+
+@dataclass
+class Batch:
+    """One iteration's worth of work: same-group requests stepping together.
+
+    Attributes:
+        group: The (model, kind) group the batch was formed from.
+        requests: The running requests scheduled this iteration.
+        prefills: The subset doing their prefill pass this iteration.
+    """
+
+    group: tuple[str, str]
+    requests: list[RequestState]
+    prefills: list[RequestState] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class ContinuousBatcher:
+    """Iteration-boundary admission and batch formation.
+
+    Requests wait FCFS; at every iteration boundary the batcher admits
+    waiting requests into their model group's running set (bounded by the
+    largest batch bucket per group) and schedules the least-recently-served
+    group that has runnable work.  All decisions are deterministic functions
+    of the arrival order, so a seeded trace always serves identically.
+    """
+
+    def __init__(self, buckets: BatchBuckets | None = None) -> None:
+        self.buckets = buckets or BatchBuckets()
+        # Per-group FCFS wait queues: requests only compete for admission
+        # slots within their own group, and per-group queues keep each
+        # iteration's admission work proportional to what is admitted
+        # instead of the total queue depth.
+        self._waiting: dict[tuple[str, str], deque[RequestState]] = {}
+        self._running: dict[tuple[str, str], list[RequestState]] = {}
+        self._last_served: dict[tuple[str, str], int] = {}
+        self._first_seen: dict[tuple[str, str], int] = {}
+        self._iteration = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def waiting(self) -> int:
+        """Requests queued but not yet admitted."""
+        return sum(len(queue) for queue in self._waiting.values())
+
+    @property
+    def running(self) -> int:
+        """Requests admitted and unfinished."""
+        return sum(len(group) for group in self._running.values())
+
+    def has_work(self) -> bool:
+        """Whether any request is waiting or running."""
+        return self.waiting > 0 or self.running > 0
+
+    # ------------------------------------------------------------- operations
+    def enqueue(self, state: RequestState) -> None:
+        """Add an arrived request to its group's FCFS wait queue."""
+        self._first_seen.setdefault(state.group, len(self._first_seen))
+        self._waiting.setdefault(state.group, deque()).append(state)
+
+    def form_batch(self, now: float) -> Batch | None:
+        """Admit waiting requests and pick the next iteration's batch.
+
+        Returns ``None`` when nothing is runnable.  Admission is FCFS into
+        each request's group until the group holds ``max_batch`` requests;
+        the scheduled group is the one served least recently (fresh groups
+        tie-break in first-arrival order), so no group starves under mixed
+        traffic.
+        """
+        # FCFS admission from each group's wait queue into its running set.
+        for key, queue in self._waiting.items():
+            group = self._running.setdefault(key, [])
+            while queue and len(group) < self.buckets.max_batch:
+                group.append(queue.popleft())
+
+        candidates = [key for key, members in self._running.items() if members]
+        if not candidates:
+            return None
+        chosen = min(
+            candidates,
+            key=lambda key: (
+                self._last_served.get(key, -1),
+                self._first_seen[key],
+            ),
+        )
+        self._iteration += 1
+        self._last_served[chosen] = self._iteration
+        members = list(self._running[chosen])
+        for state in members:
+            # "Started" means first *scheduled* iteration, not admission:
+            # a request admitted while another group holds the engine has
+            # not started, and its per-step metrics must exclude that wait.
+            if state.started_time is None:
+                state.started_time = now
+        return Batch(
+            group=chosen,
+            requests=members,
+            prefills=[state for state in members if state.prefill_pending],
+        )
+
+    def complete_step(self, batch: Batch, now: float) -> list[RequestState]:
+        """Apply one finished iteration; return the requests it completed.
+
+        Every request in the batch produced one output unit (the prefill
+        pass also yields the first token).  Finished requests leave their
+        running set immediately, freeing admission slots for the next
+        iteration.
+        """
+        completed = []
+        for state in batch.requests:
+            first_output = state.steps_done == 0
+            state.steps_done += 1
+            if first_output and state.spec.kind != DIFFUSION:
+                state.first_token_time = now
+            if state.steps_done >= state.spec.output_units:
+                state.completion_time = now
+                if state.first_token_time is None:
+                    state.first_token_time = now
+                completed.append(state)
+        if completed:
+            survivors = [s for s in self._running[batch.group] if not s.finished]
+            self._running[batch.group] = survivors
+        return completed
+
+    def batch_latency(self, batch: Batch, latency_model: StepLatencyModel) -> float:
+        """Iteration latency of ``batch`` under ``latency_model``.
+
+        Diffusion groups run one denoising step for the whole batch.  LLM
+        groups run a chunked iteration: bucketed prefill passes over the
+        newly admitted prompts (split so no pass exceeds the bucket grid's
+        prefill token budget) plus one bucketed decode step over the
+        requests already generating; the decode context compiles at the
+        bucketed maximum KV length in the batch.
+        """
+        model, kind = batch.group
+        if kind == DIFFUSION:
+            return latency_model.diffusion_latency(model, len(batch))
+        latency = 0.0
+        for chunk in self._prefill_chunks(batch.prefills):
+            latency += latency_model.prefill_latency(
+                model,
+                len(chunk),
+                max(state.spec.prefill_tokens for state in chunk),
+            )
+        decoding = [state for state in batch.requests if not state.prefill_pending]
+        if decoding:
+            latency += latency_model.decode_latency(
+                model,
+                len(decoding),
+                max(state.context_tokens for state in decoding),
+            )
+        return latency
+
+    def _prefill_chunks(
+        self, prefills: list[RequestState]
+    ) -> list[list[RequestState]]:
+        """Split admitted prompts into passes within the prefill token budget.
+
+        Greedy in admission order: a request joins the current chunk unless
+        the chunk's bucketed token footprint would exceed the budget, in
+        which case a new pass starts.  A single oversized prompt still gets
+        its own pass (nothing smaller exists to run it as).
+        """
+        budget = self.buckets.prefill_attention_budget
+        chunks: list[list[RequestState]] = []
+        current: list[RequestState] = []
+        longest = 0
+        for state in prefills:
+            prompt = state.spec.prefill_tokens
+            footprint = (
+                self.buckets.batch_bucket(len(current) + 1)
+                * self.buckets.context_bucket(max(longest, prompt)) ** 2
+            )
+            if current and footprint > budget:
+                chunks.append(current)
+                current, longest = [], 0
+            current.append(state)
+            longest = max(longest, prompt)
+        if current:
+            chunks.append(current)
+        return chunks
+
+
+def make_states(specs: Iterable[RequestSpec]) -> list[RequestState]:
+    """Fresh mutable states for a trace's request specs."""
+    return [RequestState(spec=spec) for spec in specs]

@@ -1,0 +1,303 @@
+"""Named serving scenarios, registered like compiler policies.
+
+A scenario bundles what a serving study needs besides the hardware: the
+request mix (:class:`~repro.serve.workload.RequestShape`), the arrival
+process, the shape grid the engine compiles, and the SLO goodput is judged
+against.  Scenarios register by name — mirroring
+:mod:`repro.compiler.registry` — so studies, benchmarks, and future
+subsystems (autoscaling, multi-tenant sharding) can enumerate and extend
+them without touching the simulator:
+
+>>> @register_scenario("my-workload")
+... class MyWorkload(ServingScenario):
+...     description = "my traffic mix"
+...     slo = SLOSpec(ttft=0.2)
+...     def trace(self, num_requests=64, seed=0, rate_scale=1.0):
+...         return poisson_trace(50.0 * rate_scale, num_requests, seed=seed)
+>>> simulate_scenario("my-workload", num_requests=16)
+
+The built-ins cover the paper-adjacent serving studies: interactive chat
+(latency-bound Poisson traffic), bursty chat (on/off herds), offline batch
+(throughput-bound, everything at t=0), diffusion serving (DiT denoising),
+and mixed LLM + DiT traffic on one engine.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, ClassVar, TypeVar
+
+from repro.api.service import Session
+from repro.arch.chip import SystemConfig
+from repro.arch.presets import scaled_system
+from repro.errors import ConfigurationError
+from repro.scheduler.elk import ElkOptions
+from repro.scheduler.preload_order import OrderSearchConfig
+from repro.serve.batching import BatchBuckets, StepLatencyModel
+from repro.serve.metrics import SLOSpec
+from repro.serve.simulator import ServingResult, ServingSimulator
+from repro.serve.workload import (
+    ArrivalTrace,
+    RequestShape,
+    batch_trace,
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+)
+
+
+class ServingScenario(abc.ABC):
+    """One named serving study: a request mix, arrival process, and SLO.
+
+    Subclasses are registered with :func:`register_scenario` and instantiated
+    fresh per use, so they may keep state on ``self``.
+
+    Attributes:
+        name: Registry name, filled in by :func:`register_scenario`.
+        description: One-line summary for tooling and reports.
+        slo: The SLO goodput is evaluated against.
+        buckets: Shape grid the engine compiles for this scenario.
+    """
+
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+    slo: ClassVar[SLOSpec] = SLOSpec()
+    buckets: ClassVar[BatchBuckets] = BatchBuckets(
+        batch_sizes=(1, 2, 4, 8), context_buckets=(256, 512)
+    )
+
+    @abc.abstractmethod
+    def trace(
+        self, num_requests: int = 64, seed: int = 0, rate_scale: float = 1.0
+    ) -> ArrivalTrace:
+        """Generate this scenario's seeded arrival trace.
+
+        Args:
+            num_requests: Requests in the trace.
+            seed: Seed for arrivals and request lengths (same seed, same
+                trace, bit for bit).
+            rate_scale: Multiplier on the scenario's nominal arrival rate
+                (the load knob rate sweeps turn).
+        """
+
+
+_ScenarioT = TypeVar("_ScenarioT", bound=type)
+
+#: Registered scenario classes, in registration order (dicts preserve it).
+_REGISTRY: dict[str, type[ServingScenario]] = {}
+
+
+def register_scenario(
+    name: str, *, replace: bool = False
+) -> Callable[[_ScenarioT], _ScenarioT]:
+    """Class decorator registering a :class:`ServingScenario` under ``name``."""
+    key = name.lower()
+
+    def decorator(cls: _ScenarioT) -> _ScenarioT:
+        if not (isinstance(cls, type) and issubclass(cls, ServingScenario)):
+            raise ConfigurationError(
+                f"@register_scenario({name!r}) expects a ServingScenario "
+                f"subclass, got {cls!r}"
+            )
+        if not replace and key in _REGISTRY:
+            raise ConfigurationError(
+                f"scenario {key!r} is already registered by "
+                f"{_REGISTRY[key].__qualname__}; pass replace=True to override"
+            )
+        cls.name = key
+        _REGISTRY[key] = cls
+        return cls
+
+    return decorator
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registered scenario (primarily for test cleanup)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(f"scenario {key!r} is not registered")
+    del _REGISTRY[key]
+
+
+def get_scenario(name: str) -> ServingScenario:
+    """Instantiate the scenario registered under ``name``."""
+    key = name.lower()
+    try:
+        cls = _REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; expected one of {available_scenarios()}"
+        ) from None
+    return cls()
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Names of every registered scenario, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def scenario_descriptions() -> dict[str, str]:
+    """``{name: description}`` of every registered scenario."""
+    return {name: cls.description for name, cls in _REGISTRY.items()}
+
+
+# --------------------------------------------------------------------------- #
+# Built-in scenarios.  Tiny models by default so a study runs in seconds;
+# the request mixes and SLOs carry the character of each workload class.
+# --------------------------------------------------------------------------- #
+_CHAT_SHAPE = RequestShape(
+    model="tiny-llm", prefill_tokens=(64, 256), decode_tokens=(8, 48)
+)
+_DIT_SHAPE = RequestShape(model="tiny-dit", denoise_steps=8)
+
+
+@register_scenario("interactive-chat")
+class InteractiveChat(ServingScenario):
+    description = "latency-bound chat traffic: Poisson arrivals, tight TTFT SLO"
+    # SLOs sit a few multiples above the unloaded latencies of the default
+    # tiny-model/scaled-chip study, so the rate sweep shows goodput roll off.
+    slo = SLOSpec(ttft=3e-3, tpot=5e-4)
+    nominal_rate = 150.0
+
+    def trace(self, num_requests=64, seed=0, rate_scale=1.0):
+        return poisson_trace(
+            self.nominal_rate * rate_scale,
+            num_requests,
+            seed=seed,
+            shapes=_CHAT_SHAPE,
+            name=f"{self.name}@x{rate_scale:g}",
+        )
+
+
+@register_scenario("bursty-chat")
+class BurstyChat(ServingScenario):
+    description = "on/off thundering-herd chat traffic against the same SLO"
+    slo = SLOSpec(ttft=3e-3, tpot=5e-4)
+    nominal_rate = 250.0
+
+    def trace(self, num_requests=64, seed=0, rate_scale=1.0):
+        return bursty_trace(
+            self.nominal_rate * rate_scale,
+            num_requests,
+            burst_duration=0.2,
+            idle_duration=0.6,
+            seed=seed,
+            shapes=_CHAT_SHAPE,
+            name=f"{self.name}@x{rate_scale:g}",
+        )
+
+
+@register_scenario("offline-batch")
+class OfflineBatch(ServingScenario):
+    description = "throughput-bound batch inference: all requests at t=0"
+    slo = SLOSpec()  # no latency SLO; goodput == throughput
+    nominal_rate = 0.0
+
+    def trace(self, num_requests=64, seed=0, rate_scale=1.0):
+        return batch_trace(
+            num_requests,
+            seed=seed,
+            shapes=RequestShape(
+                model="tiny-llm", prefill_tokens=(128, 512), decode_tokens=(32, 128)
+            ),
+            name=self.name,
+        )
+
+
+@register_scenario("diffusion-serving")
+class DiffusionServing(ServingScenario):
+    description = "DiT image generation: Poisson arrivals of denoising jobs"
+    slo = SLOSpec(e2e=5e-3)
+    nominal_rate = 150.0
+    buckets = BatchBuckets(batch_sizes=(1, 2, 4), context_buckets=(256,))
+
+    def trace(self, num_requests=64, seed=0, rate_scale=1.0):
+        return poisson_trace(
+            self.nominal_rate * rate_scale,
+            num_requests,
+            seed=seed,
+            shapes=_DIT_SHAPE,
+            name=f"{self.name}@x{rate_scale:g}",
+        )
+
+
+@register_scenario("mixed-traffic")
+class MixedTraffic(ServingScenario):
+    description = "chat LLM and DiT denoising sharing one engine, diurnal load"
+    slo = SLOSpec(ttft=5e-3, e2e=20e-3)
+    nominal_rate = 120.0
+
+    def trace(self, num_requests=64, seed=0, rate_scale=1.0):
+        return diurnal_trace(
+            self.nominal_rate * rate_scale,
+            num_requests,
+            period=2.0,
+            seed=seed,
+            shapes=(_CHAT_SHAPE, _DIT_SHAPE),
+            weights=(3.0, 1.0),
+            name=f"{self.name}@x{rate_scale:g}",
+        )
+
+
+# --------------------------------------------------------------------------- #
+# One-call driver.
+# --------------------------------------------------------------------------- #
+def make_serving_session(**session_kwargs) -> Session:
+    """A compile session with search bounds sized for serving studies.
+
+    Step-plan quality barely moves past a handful of preload-order
+    candidates on the scaled systems, so the default bounds keep bucket
+    compilation fast; pass explicit ``elk_options`` to override.
+    """
+    session_kwargs.setdefault(
+        "elk_options",
+        ElkOptions(
+            max_preload_ahead=8,
+            order_search=OrderSearchConfig(max_candidates=8),
+        ),
+    )
+    return Session(**session_kwargs)
+
+
+def simulate_scenario(
+    scenario: str | ServingScenario,
+    *,
+    system: SystemConfig | None = None,
+    policy: str = "elk-full",
+    num_requests: int = 64,
+    seed: int = 0,
+    rate_scale: float = 1.0,
+    session: Session | None = None,
+    num_layers: int | None = 1,
+    use_simulator: bool = True,
+) -> ServingResult:
+    """Run one registered scenario end to end and return its result.
+
+    Args:
+        scenario: Registered scenario name or an instance.
+        system: Target system (default: the 32-core scaled single-chip
+            system, matching the test/CI scale).
+        policy: Compiler policy the step plans are compiled with.
+        num_requests: Trace length.
+        seed: Trace seed (same seed, same metrics, bit for bit).
+        rate_scale: Load multiplier on the scenario's nominal arrival rate.
+        session: Shared compile session; pass one to reuse compiled step
+            plans across scenarios, policies, and rate points.
+        num_layers: Layer-count override for the compiled step workloads.
+        use_simulator: Time step plans with the event-driven simulator
+            (otherwise the analytic timeline).
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    system = system or scaled_system(num_cores=32, num_chips=1)
+    session = session or make_serving_session()
+    latency_model = StepLatencyModel(
+        session,
+        system,
+        policy,
+        buckets=scenario.buckets,
+        num_layers=num_layers,
+        use_simulator=use_simulator,
+    )
+    trace = scenario.trace(num_requests=num_requests, seed=seed, rate_scale=rate_scale)
+    return ServingSimulator(latency_model).run(trace, slo=scenario.slo)
