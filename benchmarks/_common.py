@@ -9,8 +9,11 @@ the paper's sweep sizes; substantially slower).
 
 from __future__ import annotations
 
+import json
 import os
+import time
 
+from repro.api.store import CACHE_DIR_ENV, ArtifactStore
 from repro.eval import ExperimentConfig, make_session
 from repro.eval.reporting import save_results
 
@@ -19,6 +22,49 @@ RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__fil
 
 #: Whether to run the full (paper-sized) grids.
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Persistent compile-cache directory shared by benchmark runs.  Honors the
+#: same ``REPRO_CACHE_DIR`` override as the library default, but falls back
+#: to a repo-local directory so benchmark runs never warm (or pollute) the
+#: user-wide cache unless explicitly pointed at it.
+BENCH_CACHE_DIR = os.environ.get(
+    CACHE_DIR_ENV, os.path.join(RESULTS_DIR, "compile_cache")
+)
+
+
+def make_store() -> ArtifactStore:
+    """A handle on the benchmarks' shared on-disk artifact store."""
+    return ArtifactStore(BENCH_CACHE_DIR)
+
+
+def bench_journal(name: str, record: dict) -> str:
+    """Append one machine-readable run record to ``results/BENCH_<name>.json``.
+
+    The journal holds ``{"benchmark": name, "runs": [...]}`` with one entry
+    per invocation, so consecutive runs of one benchmark — e.g. a cold run
+    and a warm run against the same artifact store, or the same benchmark
+    across PRs — line up as a perf trajectory that later tooling (and the CI
+    warm-cache smoke step) can diff.
+    """
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = {"benchmark": name, "runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                existing = json.load(handle)
+            if isinstance(existing, dict) and isinstance(existing.get("runs"), list):
+                payload = existing
+        except (OSError, json.JSONDecodeError):
+            pass  # corrupt journal: restart it rather than fail the benchmark
+    payload["runs"].append(
+        {"run_index": len(payload["runs"]), "unix_time": time.time(), **record}
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[bench journal: run {len(payload['runs']) - 1} appended to {path}]")
+    return path
 
 #: Scaled configuration used by default in every benchmark.
 BENCH_CONFIG = ExperimentConfig(
@@ -30,10 +76,19 @@ BENCH_CONFIG = ExperimentConfig(
     max_order_candidates=16 if not FULL else 64,
 )
 
+#: Default compile_many backend for the benchmarks ("thread" or "process";
+#: "process" parallelizes the GIL-bound compile path across cores).
+BENCH_BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "thread")
+
 #: One compile session shared by every benchmark in the process, so repeated
 #: (workload, system) pairs across figures reuse frontends, profiles, and
-#: whole compile results instead of rebuilding them per figure.
-SESSION = make_session(BENCH_CONFIG)
+#: whole compile results instead of rebuilding them per figure.  The figure
+#: sessions deliberately do NOT get the on-disk store: store-resolved
+#: artifacts carry no execution plan, and the figure rows are simulated off
+#: the plan, so a persistent cache would silently switch warm runs onto the
+#: analytic numbers.  The compile-time and serving-sweep benchmarks, whose
+#: outputs don't need plans, opt into the store explicitly.
+SESSION = make_session(BENCH_CONFIG, backend=BENCH_BACKEND)
 
 
 def report(name: str, title: str, rows, columns=None, session=SESSION) -> str:

@@ -56,6 +56,7 @@ goodput under SLO::
 """
 
 from repro.api import (
+    ArtifactStore,
     CompileArtifact,
     CompileRequest,
     Session,
@@ -139,6 +140,7 @@ __all__ = [
     "available_policies",
     "compile_model",
     "register_policy",
+    "ArtifactStore",
     "CompileArtifact",
     "CompileRequest",
     "Session",

@@ -8,7 +8,11 @@ sweep-shaped work (the evaluation harness, the DSE explorer, benchmarks):
 * :class:`Session` — caches frontend results, operator profiles, cost models
   and compile results across requests; :meth:`Session.compile_many` batches
   requests through those shared caches (deduplicating repeats) and dispatches
-  distinct ones on a worker pool.
+  distinct ones on a thread or process pool.
+* :class:`ArtifactStore` — content-addressed on-disk artifact cache
+  (``$REPRO_CACHE_DIR`` or ``~/.cache/repro/artifacts``); a session built
+  with ``store=`` resolves equal requests from disk across processes and
+  runs, recompiling only what no process has compiled before.
 
 One-shot use stays on :class:`repro.compiler.ModelCompiler`; anything that
 compiles the same workload or system more than once should go through a
@@ -28,7 +32,14 @@ from repro.api.artifacts import (
     load_artifacts,
     save_artifacts,
 )
-from repro.api.service import CompileRequest, Session, SessionStats
+from repro.api.service import BACKENDS, CompileRequest, Session, SessionStats
+from repro.api.store import (
+    CACHE_DIR_ENV,
+    ArtifactStore,
+    StoreStats,
+    artifact_digest,
+    default_cache_dir,
+)
 
 #: Serving-layer names re-exported lazily (PEP 562): repro.serve builds on
 #: repro.api.service, so importing it eagerly here would create an
@@ -51,9 +62,15 @@ def __getattr__(name: str):
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
+    "BACKENDS",
+    "CACHE_DIR_ENV",
     "CompileArtifact",
     "load_artifacts",
     "save_artifacts",
+    "ArtifactStore",
+    "StoreStats",
+    "artifact_digest",
+    "default_cache_dir",
     "CompileRequest",
     "Session",
     "SessionStats",

@@ -6,26 +6,36 @@ the same frontend result and per-operator profiles.  A :class:`Session` turns
 that sharing into an explicit service: it memoizes frontend results, operator
 profiles, cost models, and whole compile results keyed by
 (workload, system, policy, options), and :meth:`Session.compile_many` fans a
-batch of :class:`CompileRequest`\\ s across a thread pool while every worker
-reads the shared caches.
+batch of :class:`CompileRequest`\\ s across a thread pool (shared caches) or
+a process pool (true parallelism for the GIL-bound compile path).
 
->>> session = Session()
+Cache keys are *structural* (:func:`_freeze`): equal configurations freeze
+to identical nested tuples of primitives, which also makes them stable
+across processes — a session given a ``store`` therefore extends its result
+cache to a content-addressed on-disk
+:class:`~repro.api.store.ArtifactStore`, so sweeps, benchmarks, and CI skip
+recompiles across *runs*, not just within one.
+
+>>> session = Session(store="~/.cache/repro/artifacts")
 >>> artifact = session.compile("llama2-13b", ipu_pod4(), policy="elk-full")
 >>> sweep = session.compile_many(
-...     [CompileRequest("llama2-13b", ipu_pod4(), policy=p) for p in POLICIES]
+...     [CompileRequest("llama2-13b", ipu_pod4(), policy=p) for p in POLICIES],
+...     backend="process",
 ... )
 """
 
 from __future__ import annotations
 
 import dataclasses
+import pickle
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Callable, Hashable, Iterable, Sequence
 
 from repro.api.artifacts import CompileArtifact, save_artifacts
+from repro.api.store import ArtifactStore, artifact_digest
 from repro.arch.chip import ChipConfig, SystemConfig
 from repro.baselines.static import StaticOptions
 from repro.compiler.frontend import (
@@ -42,18 +52,78 @@ from repro.scheduler.profiles import OperatorProfile, build_operator_profiles
 
 
 def _freeze(obj: object) -> Hashable:
-    """Canonical hashable key for (possibly nested, mutable) config objects."""
+    """Canonical hashable key for (possibly nested, mutable) config objects.
+
+    Keys are *structural* — built purely from field names and primitive
+    values, with sets and dict items canonically ordered — so two equal
+    configurations built independently (even in different processes) always
+    freeze identically.  That property is what lets a frozen key address the
+    on-disk :class:`~repro.api.store.ArtifactStore`.  Objects this function
+    does not understand are rejected rather than falling back to ``repr``:
+    a default ``repr`` embeds the object's memory address, which silently
+    misses the cache within a process and can never be stable across
+    processes.
+    """
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return (type(obj).__qualname__,) + tuple(
             (f.name, _freeze(getattr(obj, f.name))) for f in dataclasses.fields(obj)
         )
     if isinstance(obj, dict):
-        return tuple(sorted((key, _freeze(value)) for key, value in obj.items()))
+        # Sort by the frozen pair's repr: deterministic even for mixed-type
+        # keys, which Python's default comparison would refuse to order.
+        return tuple(
+            sorted(
+                ((_freeze(key), _freeze(value)) for key, value in obj.items()),
+                key=repr,
+            )
+        )
     if isinstance(obj, (list, tuple)):
         return tuple(_freeze(value) for value in obj)
+    if isinstance(obj, (set, frozenset)):
+        return ("set",) + tuple(sorted((_freeze(value) for value in obj), key=repr))
     if isinstance(obj, (str, int, float, bool)) or obj is None:
         return obj
-    return repr(obj)
+    raise ConfigurationError(
+        f"cannot build a stable cache key from {type(obj).__qualname__!r} "
+        f"({obj!r}); use dataclasses, dicts, sequences, sets, or primitives"
+    )
+
+
+#: Dispatch backends understood by :meth:`Session.compile_many`.
+BACKENDS = ("thread", "process")
+
+
+def _check_backend(backend: str) -> str:
+    backend = backend.lower()
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown compile backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def _compile_in_subprocess(
+    payload: tuple,
+) -> tuple[dict[str, object], dict[str, int]]:
+    """Process-pool worker: compile one request in a fresh child session.
+
+    Runs at module level so it pickles by reference.  The child session gets
+    the parent's option defaults (so result keys — and store digests — match
+    the parent's exactly) and, when the parent has a store, its own handle on
+    the same store directory, persisting the artifact where the parent and
+    any sibling worker can see it.  The full result object cannot cross the
+    process boundary, so the serialized artifact dict ships back instead,
+    alongside the child's stats for the parent's accounting.
+    """
+    request, elk_options, static_options, cost_model_factory, store_root = payload
+    session = Session(
+        elk_options=elk_options,
+        static_options=static_options,
+        cost_model_factory=cost_model_factory,
+        store=store_root,
+    )
+    artifact = session.compile(request)
+    return artifact.to_dict(), session.stats.snapshot()
 
 
 def _as_workload(workload: WorkloadSpec | str) -> WorkloadSpec:
@@ -103,7 +173,10 @@ class CompileRequest:
 class SessionStats:
     """Cache-effectiveness counters of one :class:`Session`.
 
-    ``*_builds`` count real work; ``*_hits`` count cache reuse.
+    ``*_builds`` and ``compiles`` count real work; ``*_hits`` count cache
+    reuse (``result_hits`` from the in-memory result cache, ``store_hits``
+    from the on-disk artifact store).  ``store_puts`` counts artifacts this
+    session persisted.
     """
 
     frontend_builds: int = 0
@@ -112,6 +185,8 @@ class SessionStats:
     profile_hits: int = 0
     compiles: int = 0
     result_hits: int = 0
+    store_hits: int = 0
+    store_puts: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """Plain-dict copy for logging."""
@@ -133,6 +208,14 @@ class Session:
     between unrelated phases — after :meth:`save`\\ ing any artifacts worth
     keeping — to return the memory.
 
+    With a ``store``, the session also consults a content-addressed on-disk
+    cache between its in-memory dict and a real compile: results land on
+    disk as they are compiled and later sessions — including other
+    *processes* — resolve equal requests from the store instead of
+    recompiling.  Store-resolved artifacts carry metrics, stats, and
+    timings but no in-memory plan/frontend references (they were
+    deserialized, not compiled).
+
     Args:
         elk_options: Default Elk knobs for requests that bring none.
         static_options: Default Static knobs.
@@ -140,6 +223,10 @@ class Session:
         cost_model_factory: Builds the cost model for each distinct chip
             (defaults to :class:`~repro.cost.model.AnalyticCostModel`).
         max_workers: Default worker count of :meth:`compile_many`.
+        store: Persistent artifact store — an :class:`ArtifactStore`, a
+            directory path, or ``None`` (in-memory caching only).
+        backend: Default :meth:`compile_many` backend, ``"thread"`` or
+            ``"process"``.
     """
 
     def __init__(
@@ -149,6 +236,8 @@ class Session:
         enumeration: EnumerationLimits | None = None,
         cost_model_factory: Callable[[ChipConfig], CostModel] = AnalyticCostModel,
         max_workers: int | None = None,
+        store: ArtifactStore | str | None = None,
+        backend: str = "thread",
     ) -> None:
         self.elk_options = elk_options or ElkOptions()
         if enumeration is not None:
@@ -156,6 +245,10 @@ class Session:
         self.static_options = static_options or StaticOptions()
         self.cost_model_factory = cost_model_factory
         self.max_workers = max_workers
+        if isinstance(store, str):
+            store = ArtifactStore(store)
+        self.store = store
+        self.backend = _check_backend(backend)
         self.stats = SessionStats()
         self._lock = threading.Lock()
         self._frontends: dict[Hashable, FrontendResult] = {}
@@ -273,6 +366,30 @@ class Session:
             profiles=self.profiles(workload, request.system, elk.enumeration),
         )
 
+    def _lookup(self, key: Hashable) -> CompileArtifact | None:
+        """Resolve ``key`` from the in-memory cache, then the store.
+
+        Store hits are pinned into the in-memory cache so repeated requests
+        within this session stop touching the disk.
+        """
+        with self._lock:
+            cached = self._results.get(key)
+            if cached is not None:
+                self.stats.result_hits += 1
+                return cached
+        if self.store is None:
+            return None
+        stored = self.store.get(artifact_digest(key))
+        if stored is None:
+            return None
+        with self._lock:
+            winner = self._results.setdefault(key, stored)
+            if winner is stored:
+                self.stats.store_hits += 1
+            else:
+                self.stats.result_hits += 1
+        return winner
+
     def compile(
         self,
         request: CompileRequest | WorkloadSpec | str,
@@ -283,7 +400,10 @@ class Session:
         """Compile one request, reusing every cached artifact that applies.
 
         Accepts either a prepared :class:`CompileRequest` or the
-        ``(workload, system, policy)`` triple directly.
+        ``(workload, system, policy)`` triple directly.  Resolution order:
+        the in-memory result cache, then the on-disk store (if any), then a
+        real compile — whose artifact is persisted to the store for future
+        sessions and processes.
         """
         if not isinstance(request, CompileRequest):
             if system is None:
@@ -292,11 +412,9 @@ class Session:
                 )
             request = CompileRequest(request, system, policy, **options)
         key = self._result_key(request)
-        with self._lock:
-            cached = self._results.get(key)
-            if cached is not None:
-                self.stats.result_hits += 1
-                return cached
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
         started = time.perf_counter()
         compiler = self.compiler(request)
         result = compiler.compile(request.policy)
@@ -309,57 +427,128 @@ class Session:
         )
         with self._lock:
             winner = self._results.setdefault(key, artifact)
-            if winner is artifact:
+            fresh = winner is artifact
+            if fresh:
                 self.stats.compiles += 1
+        if fresh and self.store is not None:
+            self.store.put(artifact_digest(key), artifact)
+            with self._lock:
+                self.stats.store_puts += 1
         return winner
 
     def compile_many(
         self,
         requests: Sequence[CompileRequest],
         max_workers: int | None = None,
+        backend: str | None = None,
     ) -> list[CompileArtifact]:
         """Compile a batch of requests through the shared caches.
 
-        The frontend / profile caches are warmed once per distinct
-        (workload, system, enumeration) up front and duplicate requests are
-        compiled once, so a multi-policy sweep does the minimum work; results
-        come back in request order and match sequential :meth:`compile` calls
-        exactly.  Distinct requests are dispatched on a thread pool — the
-        pure-Python scheduling work itself is GIL-bound, so expect cache
-        sharing (not thread count) to provide the speedup unless the cost
-        model or a future backend releases the GIL.
+        Duplicate requests are compiled once and anything already resolvable
+        from the in-memory cache or the store is never dispatched, so a
+        multi-policy sweep does the minimum work; results come back in
+        request order and match sequential :meth:`compile` calls exactly.
+
+        Backends (``backend`` overrides the session default):
+
+        * ``"thread"`` — the frontend / profile caches are warmed once per
+          distinct (workload, system, enumeration) and distinct requests run
+          on a thread pool.  The compile path is GIL-bound pure Python, so
+          threads share caches but do not parallelize the scheduling work.
+        * ``"process"`` — distinct requests compile in child processes (one
+          fresh session each, sharing the parent's option defaults and
+          store), which *does* parallelize the GIL-bound compile path.  The
+          artifacts ship back serialized, so — like store hits — they carry
+          no in-memory plan/frontend references; requires a picklable
+          ``cost_model_factory``.
         """
+        backend = _check_backend(backend) if backend is not None else self.backend
         requests = list(requests)
         for request in requests:
             if not isinstance(request, CompileRequest):
                 raise ConfigurationError(
                     f"compile_many expects CompileRequests, got {request!r}"
                 )
-        warmed: set[Hashable] = set()
-        unique: dict[Hashable, CompileRequest] = {}
         keys: list[Hashable] = []
+        compiled: dict[Hashable, CompileArtifact] = {}
+        pending: dict[Hashable, CompileRequest] = {}
         for request in requests:
-            elk = self._effective_elk(request)
-            profile_key = self._profile_key(
-                request.workload_spec, request.system, elk.enumeration
-            )
-            if profile_key not in warmed:
-                warmed.add(profile_key)
-                self.profiles(request.workload_spec, request.system, elk.enumeration)
             key = self._result_key(request)
             keys.append(key)
-            unique.setdefault(key, request)
+            if key in compiled or key in pending:
+                continue
+            cached = self._lookup(key)
+            if cached is not None:
+                compiled[key] = cached
+            else:
+                pending[key] = request
         workers = max_workers if max_workers is not None else self.max_workers
         if workers is None:
-            workers = min(4, len(unique)) or 1
-        if workers <= 1 or len(unique) <= 1:
-            compiled = {key: self.compile(request) for key, request in unique.items()}
-        else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                compiled = dict(
-                    zip(unique, pool.map(self.compile, unique.values()))
+            workers = min(4, len(pending)) or 1
+        if backend == "process" and pending:
+            compiled.update(self._compile_in_processes(pending, workers))
+        elif pending:
+            warmed: set[Hashable] = set()
+            for request in pending.values():
+                elk = self._effective_elk(request)
+                profile_key = self._profile_key(
+                    request.workload_spec, request.system, elk.enumeration
                 )
+                if profile_key not in warmed:
+                    warmed.add(profile_key)
+                    self.profiles(
+                        request.workload_spec, request.system, elk.enumeration
+                    )
+            if workers <= 1 or len(pending) <= 1:
+                compiled.update(
+                    (key, self.compile(request)) for key, request in pending.items()
+                )
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    compiled.update(
+                        zip(pending, pool.map(self.compile, pending.values()))
+                    )
         return [compiled[key] for key in keys]
+
+    def _compile_in_processes(
+        self, pending: dict[Hashable, CompileRequest], workers: int
+    ) -> dict[Hashable, CompileArtifact]:
+        """Fan ``pending`` across a process pool; merge results and stats."""
+        try:
+            pickle.dumps(self.cost_model_factory)
+        except Exception as error:
+            raise ConfigurationError(
+                "compile_many(backend='process') needs a picklable "
+                "cost_model_factory (module-level class or function); "
+                f"cannot ship {self.cost_model_factory!r} to workers"
+            ) from error
+        store_root = self.store.root if self.store is not None else None
+        payloads = [
+            (request, self.elk_options, self.static_options,
+             self.cost_model_factory, store_root)
+            for request in pending.values()
+        ]
+        compiled: dict[Hashable, CompileArtifact] = {}
+        with ProcessPoolExecutor(max_workers=max(1, workers)) as pool:
+            for key, (data, child_stats) in zip(
+                pending, pool.map(_compile_in_subprocess, payloads)
+            ):
+                artifact = CompileArtifact.from_dict(data)
+                with self._lock:
+                    winner = self._results.setdefault(key, artifact)
+                    if winner is artifact:
+                        # Attribute the child's work to this session: a real
+                        # compile (persisted by the child when a store is
+                        # wired) or the child's own store hit.
+                        if child_stats.get("store_hits"):
+                            self.stats.store_hits += 1
+                        else:
+                            self.stats.compiles += 1
+                            self.stats.store_puts += child_stats.get(
+                                "store_puts", 0
+                            )
+                compiled[key] = winner
+        return compiled
 
     def sweep(
         self,
@@ -367,6 +556,7 @@ class Session:
         systems: Iterable[SystemConfig] | SystemConfig,
         policies: Iterable[str] = ("elk-full",),
         max_workers: int | None = None,
+        backend: str | None = None,
     ) -> list[CompileArtifact]:
         """Cross-product convenience: compile workloads × systems × policies."""
         if isinstance(systems, SystemConfig):
@@ -377,7 +567,7 @@ class Session:
             for system in systems
             for policy in policies
         ]
-        return self.compile_many(requests, max_workers=max_workers)
+        return self.compile_many(requests, max_workers=max_workers, backend=backend)
 
     # ------------------------------------------------------------ persistence
     def artifacts(self) -> list[CompileArtifact]:

@@ -84,8 +84,10 @@ SERVING_SUMMARY_COLUMNS = (
     "goodput_rps",
     "goodput_fraction",
     "ttft_p50_ms",
+    "ttft_p95_ms",
     "ttft_p99_ms",
     "tpot_p50_ms",
+    "tpot_p95_ms",
     "tpot_p99_ms",
     "e2e_p50_ms",
     "e2e_p95_ms",

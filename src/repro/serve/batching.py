@@ -19,6 +19,7 @@ cannot starve either side.
 from __future__ import annotations
 
 import bisect
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -126,6 +127,7 @@ class StepLatencyModel:
         self.num_layers = num_layers
         self.use_simulator = use_simulator
         self.stats = {"compiles": 0, "hits": 0}
+        self._lock = threading.Lock()
         self._latencies: dict[tuple, float] = {}
 
     # ------------------------------------------------------------- public API
@@ -155,17 +157,25 @@ class StepLatencyModel:
 
     def compiled_shapes(self) -> list[tuple]:
         """The (model, phase, batch bucket, context bucket) shapes compiled."""
-        return sorted(self._latencies)
+        with self._lock:
+            return sorted(self._latencies)
 
     # --------------------------------------------------------------- internal
     def _step_latency(
         self, model: str, phase: str, batch_bucket: int, context_bucket: int
     ) -> float:
+        # Same lock-around-publish discipline as Session: concurrent engines
+        # sharing this model (the docstring's promise) may race to the same
+        # key, and only the first publisher's latency and "compiles" count
+        # may land — losers record hits, never duplicate entries.  The winner
+        # is decided by key presence, not object identity: racing threads can
+        # receive the SAME float object from the session's cached artifact.
         key = (model.lower(), phase, batch_bucket, context_bucket)
-        cached = self._latencies.get(key)
-        if cached is not None:
-            self.stats["hits"] += 1
-            return cached
+        with self._lock:
+            cached = self._latencies.get(key)
+            if cached is not None:
+                self.stats["hits"] += 1
+                return cached
         workload = self._workload(model, phase, batch_bucket, context_bucket)
         artifact = self.session.compile(
             CompileRequest(workload, self.system, self.policy)
@@ -181,9 +191,14 @@ class StepLatencyModel:
                 frontend.full_graph_flops,
                 frontend.interchip_bytes_per_step,
             ).total_time
-        self.stats["compiles"] += 1
-        self._latencies[key] = latency
-        return latency
+        with self._lock:
+            winner = self._latencies.get(key)
+            if winner is None:
+                self._latencies[key] = latency
+                self.stats["compiles"] += 1
+                return latency
+            self.stats["hits"] += 1
+            return winner
 
     def _workload(
         self, model: str, phase: str, batch_bucket: int, context_bucket: int

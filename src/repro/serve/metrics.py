@@ -177,8 +177,10 @@ class ServingMetrics:
             "goodput_rps": self.goodput_rps,
             "goodput_fraction": self.goodput_fraction,
             "ttft_p50_ms": self.ttft_p50 * 1e3,
+            "ttft_p95_ms": self.ttft_p95 * 1e3,
             "ttft_p99_ms": self.ttft_p99 * 1e3,
             "tpot_p50_ms": self.tpot_p50 * 1e3,
+            "tpot_p95_ms": self.tpot_p95 * 1e3,
             "tpot_p99_ms": self.tpot_p99 * 1e3,
             "e2e_p50_ms": self.e2e_p50 * 1e3,
             "e2e_p95_ms": self.e2e_p95 * 1e3,

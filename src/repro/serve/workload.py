@@ -59,6 +59,8 @@ class RequestSpec:
     def __post_init__(self) -> None:
         if self.arrival_time < 0:
             raise ConfigurationError("arrival_time must be non-negative")
+        if self.denoise_steps < 0:
+            raise ConfigurationError("denoise_steps must be non-negative")
         if self.denoise_steps > 0:
             if self.prefill_tokens or self.decode_tokens:
                 raise ConfigurationError(
@@ -100,6 +102,11 @@ class RequestShape:
     denoise_steps: int = 0
 
     def __post_init__(self) -> None:
+        # A negative step count is not "an LLM shape": it would pass the
+        # token-range validation below, then sample RequestSpecs whose kind
+        # is silently misread downstream.  Reject it outright.
+        if self.denoise_steps < 0:
+            raise ConfigurationError("denoise_steps must be non-negative")
         for name, (lo, hi) in (
             ("prefill_tokens", self.prefill_tokens),
             ("decode_tokens", self.decode_tokens),

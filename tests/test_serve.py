@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.eval import format_serving_summary, serving_summary_rows
+from repro.eval.reporting import SERVING_SUMMARY_COLUMNS
 from repro.serve import (
     ArrivalTrace,
     BatchBuckets,
@@ -487,3 +490,77 @@ def test_serving_summary_formatting(small_system, serve_session):
     text = format_serving_summary(runs)
     assert "ttft_p50_ms" in text and "basic" in text
     assert format_serving_summary([]) == ""
+
+
+# --------------------------------------------------------------------------- #
+# Validation and concurrency regressions (PR 6)
+# --------------------------------------------------------------------------- #
+def test_negative_denoise_steps_rejected():
+    with pytest.raises(ConfigurationError, match="non-negative"):
+        RequestSpec(0, 0.0, "tiny-dit", denoise_steps=-1)
+    # A negative count on the *shape* used to slip through as "an LLM shape"
+    # and only blow up (or mislabel requests) at sampling time.
+    with pytest.raises(ConfigurationError, match="non-negative"):
+        RequestShape(model="tiny-dit", denoise_steps=-3)
+    assert RequestShape(model="tiny-dit", denoise_steps=4).denoise_steps == 4
+
+
+def test_metrics_summary_reports_p95_tails():
+    records = [
+        RequestRecord(
+            spec=_llm(i, 0.0, decode=2),
+            arrival_time=0.0,
+            started_time=0.0,
+            first_token_time=float(i + 1),
+            completion_time=float(i + 2),
+        )
+        for i in range(10)
+    ]
+    metrics = compute_metrics(records)
+    summary = metrics.summary()
+    assert summary["ttft_p95_ms"] == pytest.approx(metrics.ttft_p95 * 1e3)
+    assert summary["tpot_p95_ms"] == pytest.approx(metrics.tpot_p95 * 1e3)
+    # p50 <= p95 <= p99 on a spread of distinct TTFTs.
+    assert summary["ttft_p50_ms"] <= summary["ttft_p95_ms"] <= summary["ttft_p99_ms"]
+    assert "ttft_p95_ms" in SERVING_SUMMARY_COLUMNS
+    assert "tpot_p95_ms" in SERVING_SUMMARY_COLUMNS
+
+
+def test_step_latency_model_race_compiles_once(small_system):
+    """N threads racing to one uncached shape: one compile, N-1 hits."""
+    session = make_serving_session()
+    model = StepLatencyModel(
+        session, small_system, policy="basic", use_simulator=False
+    )
+    num_threads = 4
+    barrier = threading.Barrier(num_threads)
+    original_compile = session.compile
+
+    def stalling_compile(request):
+        # Hold every thread inside the compute section until all of them
+        # have passed the cached-read check, forcing the publish race.
+        barrier.wait(timeout=30)
+        return original_compile(request)
+
+    session.compile = stalling_compile
+    results: list[float | None] = [None] * num_threads
+    errors: list[BaseException] = []
+
+    def worker(index):
+        try:
+            results[index] = model.decode_latency("tiny-llm", 4, 128)
+        except BaseException as error:  # pragma: no cover - diagnostic only
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(num_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors
+    assert len(set(results)) == 1 and results[0] is not None
+    assert model.stats == {"compiles": 1, "hits": num_threads - 1}
+    assert len(model.compiled_shapes()) == 1

@@ -1,0 +1,212 @@
+"""Tests for stable cache keys, the on-disk artifact store, and the
+process-pool compile backend."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api import (
+    ArtifactStore,
+    CompileRequest,
+    Session,
+    artifact_digest,
+    default_cache_dir,
+)
+from repro.api.service import _freeze
+from repro.compiler import POLICIES, WorkloadSpec
+from repro.cost.model import AnalyticCostModel
+from repro.errors import ConfigurationError
+from repro.scheduler import ElkOptions
+from repro.scheduler.preload_order import OrderSearchConfig
+
+TINY = WorkloadSpec("tiny-llm", batch_size=4, seq_len=256, num_layers=1)
+
+
+# --------------------------------------------------------------------------- #
+# _freeze: structural, deterministic, process-stable cache keys
+# --------------------------------------------------------------------------- #
+def test_freeze_equal_configs_freeze_identically():
+    a = ElkOptions(max_preload_ahead=8, order_search=OrderSearchConfig(max_candidates=8))
+    b = ElkOptions(max_preload_ahead=8, order_search=OrderSearchConfig(max_candidates=8))
+    assert a is not b
+    assert _freeze(a) == _freeze(b)
+    assert _freeze(WorkloadSpec("tiny-llm")) == _freeze(WorkloadSpec("tiny-llm"))
+
+
+def test_freeze_is_structural_not_repr():
+    # The frozen key must contain no trace of object identity.
+    frozen = repr(_freeze(ElkOptions()))
+    assert " object at 0x" not in frozen
+
+
+def test_freeze_sets_are_order_insensitive():
+    assert _freeze({3, 1, 2}) == _freeze({2, 3, 1}) == ("set", 1, 2, 3)
+    assert _freeze(frozenset(("b", "a"))) == ("set", "a", "b")
+    # Tagged, so a set never collides with the equal-content sequence.
+    assert _freeze({1, 2}) != _freeze((1, 2))
+
+
+def test_freeze_dicts_sort_mixed_keys():
+    assert _freeze({"b": 1, "a": 2}) == _freeze({"a": 2, "b": 1})
+    # Mixed-type keys would crash Python's default ordering; repr-keyed
+    # sorting keeps them deterministic.
+    assert _freeze({1: "x", "1": "y"}) == _freeze({"1": "y", 1: "x"})
+
+
+def test_freeze_rejects_unknown_objects():
+    class NotAConfig:
+        pass
+
+    with pytest.raises(ConfigurationError, match="stable cache key"):
+        _freeze(NotAConfig())
+    with pytest.raises(ConfigurationError, match="stable cache key"):
+        _freeze({"nested": [NotAConfig()]})
+
+
+def test_artifact_digest_stable_and_schema_versioned(small_system):
+    request = CompileRequest(TINY, small_system, "basic")
+    session = Session()
+    key = session._result_key(request)
+    again = Session()._result_key(CompileRequest(TINY, small_system, "basic"))
+    assert artifact_digest(key) == artifact_digest(again)
+    assert len(artifact_digest(key)) == 64
+    assert artifact_digest(key) != artifact_digest((key, "something-else"))
+
+
+# --------------------------------------------------------------------------- #
+# ArtifactStore: content-addressed persistence
+# --------------------------------------------------------------------------- #
+def test_store_round_trip_across_sessions(small_system, tmp_path):
+    """compile → new Session on the same store → store hit, zero recompiles."""
+    root = str(tmp_path / "cache")
+    first = Session(store=root)
+    cold = first.compile(TINY, small_system, "elk-full")
+    assert first.stats.compiles == 1
+    assert first.stats.store_puts == 1
+    assert first.store.stats.puts == 1
+    assert len(first.store) == 1
+
+    second = Session(store=ArtifactStore(root))
+    warm = second.compile(TINY, small_system, "elk-full")
+    assert second.stats.compiles == 0
+    assert second.stats.store_hits == 1
+    assert second.store.stats.hits == 1
+    # Runtime fields are compare=False, so equality covers every serialized
+    # field (metrics, stats, timings) — and the refs really are dropped.
+    assert warm == cold
+    assert warm.result is None and warm.frontend is None and warm.system is None
+
+    # Within the second session the disk is consulted exactly once.
+    assert second.compile(TINY, small_system, "elk-full") is warm
+    assert second.stats.result_hits == 1
+    assert second.store.stats.hits == 1
+
+
+def test_store_hits_count_in_compile_many(small_system, tmp_path):
+    root = str(tmp_path / "cache")
+    requests = [CompileRequest(TINY, small_system, p) for p in ("basic", "ideal")]
+    Session(store=root).compile_many(requests)
+
+    warm = Session(store=root)
+    artifacts = warm.compile_many(requests)
+    assert [a.policy for a in artifacts] == ["basic", "ideal"]
+    assert warm.stats.compiles == 0
+    assert warm.stats.store_hits == 2
+    # Nothing was dispatched, so no frontend/profile work happened either.
+    assert warm.stats.frontend_builds == 0
+    assert warm.stats.profile_builds == 0
+
+
+def test_store_evicts_foreign_schema_and_corrupt_entries(small_system, tmp_path):
+    root = str(tmp_path / "cache")
+    session = Session(store=root)
+    session.compile(TINY, small_system, "basic")
+    store = session.store
+    [path] = list(store._entry_paths())
+
+    data = json.load(open(path))
+    data["schema_version"] = 999
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle)
+    digest = os.path.splitext(os.path.basename(path))[0]
+    assert store.get(digest) is None
+    assert store.stats.evictions == 1
+    assert not os.path.exists(path)
+
+    store.put(digest, session.artifacts()[0])
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("{not json")
+    assert store.get(digest) is None
+    assert store.stats.evictions == 2
+
+
+def test_store_clear_and_digest_validation(tmp_path):
+    store = ArtifactStore(str(tmp_path / "cache"))
+    assert len(store) == 0
+    assert store.clear() == 0
+    with pytest.raises(ConfigurationError, match="digest"):
+        store.path_for("../../etc/passwd")
+    with pytest.raises(ConfigurationError, match="digest"):
+        store.path_for("abc")
+
+
+def test_default_cache_dir_honors_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+    assert default_cache_dir() == str(tmp_path / "override")
+    assert ArtifactStore().root == str(tmp_path / "override")
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert default_cache_dir().endswith(os.path.join("repro", "artifacts"))
+
+
+# --------------------------------------------------------------------------- #
+# Process-pool backend
+# --------------------------------------------------------------------------- #
+def test_process_backend_matches_sequential_compiles(small_system):
+    requests = [CompileRequest(TINY, small_system, policy) for policy in POLICIES]
+    sequential = [Session().compile(request) for request in requests]
+
+    session = Session()
+    parallel = session.compile_many(requests, max_workers=2, backend="process")
+    assert session.stats.compiles == len(POLICIES)
+
+    def comparable(artifact):
+        data = artifact.to_dict()
+        data.pop("compile_seconds")  # wall-clock differs run to run
+        return data
+
+    assert [comparable(a) for a in parallel] == [comparable(a) for a in sequential]
+    # Shipped artifacts are deserialized: no in-memory plan/frontend refs.
+    assert all(a.result is None and a.frontend is None for a in parallel)
+
+
+def test_process_backend_populates_shared_store(small_system, tmp_path):
+    root = str(tmp_path / "cache")
+    session = Session(store=root)
+    requests = [CompileRequest(TINY, small_system, p) for p in ("basic", "ideal")]
+    session.compile_many(requests, max_workers=2, backend="process")
+    assert session.stats.compiles == 2
+    assert len(session.store) == 2
+
+    warm = Session(store=root)
+    warm.compile_many(requests, backend="process")
+    assert warm.stats.compiles == 0
+    assert warm.stats.store_hits == 2
+
+
+def test_process_backend_needs_picklable_cost_model_factory(small_system):
+    session = Session(cost_model_factory=lambda chip: AnalyticCostModel(chip))
+    request = CompileRequest(TINY, small_system, "basic")
+    with pytest.raises(ConfigurationError, match="picklable"):
+        session.compile_many([request, request], backend="process")
+
+
+def test_unknown_backend_rejected(small_system):
+    with pytest.raises(ConfigurationError, match="backend"):
+        Session(backend="fiber")
+    with pytest.raises(ConfigurationError, match="backend"):
+        Session().compile_many(
+            [CompileRequest(TINY, small_system, "basic")], backend="fiber"
+        )
