@@ -53,6 +53,16 @@ goodput under SLO::
 
     result = simulate_scenario("interactive-chat", num_requests=64, seed=0)
     print(result.metrics().summary())
+
+:mod:`repro.cluster` scales that to a *fleet*: a router (round-robin /
+least-loaded / session-affinity) dispatches one trace across N engines
+sharing a single compile session, with per-tenant admission quotas, a
+queue- and SLO-driven autoscaler, and prefill/decode disaggregation::
+
+    from repro import simulate_cluster_scenario
+
+    result = simulate_cluster_scenario("cluster-chat-fleet", num_requests=64)
+    print(result.router, result.fleet_size, result.metrics().summary())
 """
 
 from repro.api import (
@@ -87,6 +97,19 @@ from repro.compiler import (
     available_policies,
     compile_model,
     register_policy,
+)
+from repro.cluster import (
+    AutoscalerConfig,
+    ClusterResult,
+    ClusterScenario,
+    ClusterSimulator,
+    DisaggregationConfig,
+    RouterPolicy,
+    TenantSpec,
+    available_routers,
+    register_router,
+    simulate_cluster,
+    simulate_cluster_scenario,
 )
 from repro.errors import ElkError
 from repro.ir import Operator, OperatorGraph, TensorSpec
@@ -178,6 +201,17 @@ __all__ = [
     "save_trace",
     "simulate_scenario",
     "simulate_serving",
+    "AutoscalerConfig",
+    "ClusterResult",
+    "ClusterScenario",
+    "ClusterSimulator",
+    "DisaggregationConfig",
+    "RouterPolicy",
+    "TenantSpec",
+    "available_routers",
+    "register_router",
+    "simulate_cluster",
+    "simulate_cluster_scenario",
     "ChipSimulator",
     "simulate_system",
     "__version__",

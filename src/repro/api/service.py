@@ -390,6 +390,29 @@ class Session:
                 self.stats.result_hits += 1
         return winner
 
+    def cached(
+        self,
+        request: CompileRequest | WorkloadSpec | str,
+        system: SystemConfig | None = None,
+        policy: str = "elk-full",
+        **options,
+    ) -> CompileArtifact | None:
+        """Resolve a request from the caches *without* compiling.
+
+        Returns the artifact if the in-memory cache or the on-disk store
+        already holds it, ``None`` otherwise.  This is the peek fleet-level
+        tooling uses to assert "every bucket plan this fleet served was
+        compiled exactly once" — the lookup counts as a cache hit in
+        :attr:`stats` but never triggers work.
+        """
+        if not isinstance(request, CompileRequest):
+            if system is None:
+                raise ConfigurationError(
+                    "Session.cached needs a CompileRequest or (workload, system)"
+                )
+            request = CompileRequest(request, system, policy, **options)
+        return self._lookup(self._result_key(request))
+
     def compile(
         self,
         request: CompileRequest | WorkloadSpec | str,

@@ -1,0 +1,85 @@
+"""Fleet-scale serving on inter-core-connected AI chips.
+
+``repro.cluster`` dispatches one seeded arrival trace across a fleet of
+continuously-batched engines that share a single compile session — bucket
+plans compile once fleet-wide.  It layers on :mod:`repro.serve`:
+
+* :mod:`repro.cluster.router` — pluggable dispatch policies (round-robin,
+  least-loaded, session-affinity) behind a registry;
+* :mod:`repro.cluster.tenancy` — per-tenant token-bucket admission control
+  and per-tenant SLOs;
+* :mod:`repro.cluster.autoscaler` — queue- and SLO-driven scaling with
+  cooldown hysteresis, warm-up delays, and drain-based removal;
+* :mod:`repro.cluster.simulator` — the fleet discrete-event loop, including
+  prefill/decode disaggregation with a hand-off queue;
+* :mod:`repro.cluster.scenarios` — named fleet studies registered alongside
+  the single-engine serving scenarios.
+
+Everything stays a pure function of the seeded trace and the configuration:
+fleet metrics are bit-reproducible.
+"""
+
+from repro.cluster.autoscaler import (
+    SCALE_ADD,
+    SCALE_DRAIN,
+    SCALE_REMOVE,
+    Autoscaler,
+    AutoscalerConfig,
+    ScaleEvent,
+)
+from repro.cluster.router import (
+    EngineView,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    RouterPolicy,
+    SessionAffinityRouter,
+    available_routers,
+    get_router,
+    register_router,
+    router_descriptions,
+    unregister_router,
+)
+from repro.cluster.scenarios import ClusterScenario, simulate_cluster_scenario
+from repro.cluster.simulator import (
+    ROLE_COLOCATED,
+    ROLE_DECODE,
+    ROLE_PREFILL,
+    ClusterResult,
+    ClusterSimulator,
+    DisaggregationConfig,
+    EngineRecord,
+    simulate_cluster,
+)
+from repro.cluster.tenancy import AdmissionController, TenantSpec, as_tenant_map
+
+__all__ = [
+    "SCALE_ADD",
+    "SCALE_DRAIN",
+    "SCALE_REMOVE",
+    "ROLE_COLOCATED",
+    "ROLE_DECODE",
+    "ROLE_PREFILL",
+    "AdmissionController",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ClusterResult",
+    "ClusterScenario",
+    "ClusterSimulator",
+    "DisaggregationConfig",
+    "EngineRecord",
+    "EngineView",
+    "LeastLoadedRouter",
+    "RoundRobinRouter",
+    "RouterPolicy",
+    "ScaleEvent",
+    "SessionAffinityRouter",
+    "TenantSpec",
+    "as_tenant_map",
+    "available_routers",
+    "get_router",
+    "register_router",
+    "router_descriptions",
+    "simulate_cluster",
+    "simulate_cluster_scenario",
+    "unregister_router",
+]

@@ -1,0 +1,148 @@
+"""Queue- and SLO-driven autoscaling with cooldown hysteresis.
+
+The autoscaler watches two signals at every simulation event: the average
+queue depth across active engines (work piling up faster than the fleet
+drains it) and rolling SLO attainment over the most recent completions
+(the fleet is missing its objective even if queues look fine).  Crossing
+the scale-up thresholds adds an engine — which must warm up (compile /
+instantiate its bucket plans) before taking traffic — and sustained calm
+below the scale-down threshold drains one, bounded by ``min_engines`` /
+``max_engines`` and separated by a cooldown so the fleet cannot flap.
+
+Decisions are pure functions of (event time, fleet state, completion
+history), so autoscaled runs stay seeded-deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Scale-event actions recorded by the cluster simulator.
+SCALE_ADD = "add"
+SCALE_DRAIN = "drain"
+SCALE_REMOVE = "remove"
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Knobs of the fleet autoscaler.
+
+    Attributes:
+        min_engines: Fleet floor (never drained below).
+        max_engines: Fleet ceiling (never grown above).
+        scale_up_queue_depth: Average waiting requests per active engine
+            above which the fleet grows.
+        scale_down_queue_depth: Average waiting requests per active engine
+            below which the fleet shrinks (must be below the up threshold —
+            the gap is the hysteresis band).
+        attainment_floor: Rolling SLO attainment below which the fleet
+            grows regardless of queue depth (``None`` disables the signal).
+        attainment_window: Completions in the rolling attainment window.
+        cooldown: Minimum seconds between scale actions.
+        warmup_delay: Seconds a newly added engine spends compiling /
+            loading its bucket plans before it may take traffic.
+    """
+
+    min_engines: int = 1
+    max_engines: int = 4
+    scale_up_queue_depth: float = 4.0
+    scale_down_queue_depth: float = 0.5
+    attainment_floor: float | None = None
+    attainment_window: int = 32
+    cooldown: float = 0.25
+    warmup_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.min_engines < 1:
+            raise ConfigurationError("min_engines must be >= 1")
+        if self.max_engines < self.min_engines:
+            raise ConfigurationError("max_engines must be >= min_engines")
+        if self.scale_down_queue_depth >= self.scale_up_queue_depth:
+            raise ConfigurationError(
+                "scale_down_queue_depth must be below scale_up_queue_depth "
+                "(the gap is the hysteresis band)"
+            )
+        if self.attainment_floor is not None and not (
+            0.0 < self.attainment_floor <= 1.0
+        ):
+            raise ConfigurationError("attainment_floor must be in (0, 1]")
+        if self.attainment_window < 1:
+            raise ConfigurationError("attainment_window must be >= 1")
+        if self.cooldown < 0 or self.warmup_delay < 0:
+            raise ConfigurationError("cooldown and warmup_delay must be >= 0")
+
+
+class Autoscaler:
+    """Mutable autoscaling state: cooldown clock plus attainment window."""
+
+    def __init__(self, config: AutoscalerConfig) -> None:
+        self.config = config
+        self._window: deque[bool] = deque(maxlen=config.attainment_window)
+        self._last_action = float("-inf")
+
+    def observe(self, slo_met: bool) -> None:
+        """Record one completed request's SLO outcome."""
+        self._window.append(slo_met)
+
+    @property
+    def attainment(self) -> float:
+        """Rolling SLO attainment (1.0 until anything completes)."""
+        if not self._window:
+            return 1.0
+        return sum(self._window) / len(self._window)
+
+    def decide(self, now: float, active_engines: int, total_waiting: int) -> str | None:
+        """``"up"``, ``"down"``, or ``None`` for the fleet state at ``now``.
+
+        Args:
+            now: Current simulation time.
+            active_engines: Non-draining engines, including ones still
+                warming up — counting warming engines is what prevents a
+                burst from re-triggering scale-up every event during the
+                warm-up delay.
+            total_waiting: Waiting (unadmitted) requests across those
+                engines.
+        """
+        config = self.config
+        if now - self._last_action < config.cooldown:
+            return None
+        average_queue = total_waiting / max(1, active_engines)
+        missing_slo = (
+            config.attainment_floor is not None
+            and self.attainment < config.attainment_floor
+        )
+        if active_engines < config.max_engines and (
+            average_queue > config.scale_up_queue_depth or missing_slo
+        ):
+            self._last_action = now
+            return "up"
+        if (
+            active_engines > config.min_engines
+            and average_queue < config.scale_down_queue_depth
+            and not missing_slo
+        ):
+            self._last_action = now
+            return "down"
+        return None
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaler action, as recorded in a cluster result.
+
+    Attributes:
+        time: Simulation time of the action.
+        action: ``"add"``, ``"drain"``, or ``"remove"``.
+        engine_id: The engine acted on.
+        fleet_size: Active (non-draining) engines right after the action.
+        reason: Human-readable trigger (queue depth / SLO attainment).
+    """
+
+    time: float
+    action: str
+    engine_id: int
+    fleet_size: int
+    reason: str = ""

@@ -1,0 +1,186 @@
+"""Fleet routing: pluggable dispatch policies over engine load snapshots.
+
+A router decides which engine an arriving (or handed-off) request runs on.
+Policies see only :class:`EngineView` snapshots — engine id plus load
+signals — so they stay pure functions of the dispatch sequence and the
+fleet state, which keeps every seeded cluster run bit-reproducible.
+
+Policies register by name, mirroring :mod:`repro.compiler.registry` and
+:mod:`repro.serve.scenarios`:
+
+>>> @register_router("my-policy")
+... class MyPolicy(RouterPolicy):
+...     description = "always the first engine"
+...     def choose(self, state, engines, now):
+...         return engines[0].engine_id
+
+Built-ins: ``round-robin`` (cycle the ready fleet), ``least-loaded``
+(fewest queued+running requests, then fewest in-flight tokens), and
+``session-affinity`` (sticky CRC32 hash on the request's tenant id, so a
+tenant's requests land on one engine and reuse its warm state).
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+from repro.serve.batching import RequestState
+
+
+@dataclass(frozen=True)
+class EngineView:
+    """Read-only load snapshot of one dispatchable engine.
+
+    Attributes:
+        engine_id: Stable engine identifier within the fleet.
+        queue_depth: Requests queued but not yet admitted.
+        running: Requests admitted and unfinished.
+        in_flight_tokens: Output units still owed to the engine's requests.
+    """
+
+    engine_id: int
+    queue_depth: int
+    running: int
+    in_flight_tokens: int
+
+    @property
+    def load(self) -> int:
+        """Requests the engine currently owns (queued plus running)."""
+        return self.queue_depth + self.running
+
+
+class RouterPolicy(abc.ABC):
+    """One dispatch policy; instantiated fresh per simulation run.
+
+    Subclasses may keep state on ``self`` (e.g. a round-robin cursor);
+    a fresh instance per run is what keeps repeated runs identical.
+
+    Attributes:
+        name: Registry name, filled in by :func:`register_router`.
+        description: One-line summary for tooling and reports.
+    """
+
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def choose(
+        self, state: RequestState, engines: Sequence[EngineView], now: float
+    ) -> int:
+        """Pick the engine for ``state``.
+
+        Args:
+            state: The request being dispatched.
+            engines: Non-empty views of the dispatchable (ready,
+                non-draining) engines, sorted by ``engine_id``.
+            now: Current simulation time.
+
+        Returns:
+            The chosen ``engine_id`` (must be one of ``engines``).
+        """
+
+
+_RouterT = TypeVar("_RouterT", bound=type)
+
+#: Registered router classes, in registration order.
+_REGISTRY: dict[str, type[RouterPolicy]] = {}
+
+
+def register_router(
+    name: str, *, replace: bool = False
+) -> Callable[[_RouterT], _RouterT]:
+    """Class decorator registering a :class:`RouterPolicy` under ``name``."""
+    key = name.lower()
+
+    def decorator(cls: _RouterT) -> _RouterT:
+        if not (isinstance(cls, type) and issubclass(cls, RouterPolicy)):
+            raise ConfigurationError(
+                f"@register_router({name!r}) expects a RouterPolicy "
+                f"subclass, got {cls!r}"
+            )
+        if not replace and key in _REGISTRY:
+            raise ConfigurationError(
+                f"router {key!r} is already registered by "
+                f"{_REGISTRY[key].__qualname__}; pass replace=True to override"
+            )
+        cls.name = key
+        _REGISTRY[key] = cls
+        return cls
+
+    return decorator
+
+
+def unregister_router(name: str) -> None:
+    """Remove a registered router (primarily for test cleanup)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(f"router {key!r} is not registered")
+    del _REGISTRY[key]
+
+
+def get_router(name: str) -> RouterPolicy:
+    """Instantiate the router registered under ``name``."""
+    key = name.lower()
+    try:
+        cls = _REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown router {name!r}; expected one of {available_routers()}"
+        ) from None
+    return cls()
+
+
+def available_routers() -> tuple[str, ...]:
+    """Names of every registered router, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def router_descriptions() -> dict[str, str]:
+    """``{name: description}`` of every registered router."""
+    return {name: cls.description for name, cls in _REGISTRY.items()}
+
+
+# --------------------------------------------------------------------------- #
+# Built-in policies.
+# --------------------------------------------------------------------------- #
+@register_router("round-robin")
+class RoundRobinRouter(RouterPolicy):
+    description = "cycle dispatches across the ready fleet in engine order"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, state, engines, now):
+        view = engines[self._cursor % len(engines)]
+        self._cursor += 1
+        return view.engine_id
+
+
+@register_router("least-loaded")
+class LeastLoadedRouter(RouterPolicy):
+    description = (
+        "fewest queued+running requests, then fewest in-flight tokens, "
+        "then lowest engine id"
+    )
+
+    def choose(self, state, engines, now):
+        best = min(
+            engines,
+            key=lambda view: (view.load, view.in_flight_tokens, view.engine_id),
+        )
+        return best.engine_id
+
+
+@register_router("session-affinity")
+class SessionAffinityRouter(RouterPolicy):
+    description = "sticky CRC32 hash on the request's tenant id"
+
+    def choose(self, state, engines, now):
+        # zlib.crc32, not hash(): str hashing is salted per process
+        # (PYTHONHASHSEED), which would break cross-run determinism.
+        digest = zlib.crc32(state.spec.tenant.encode("utf-8"))
+        return engines[digest % len(engines)].engine_id

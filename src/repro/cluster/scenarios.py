@@ -1,0 +1,260 @@
+"""Named fleet-scale scenarios, registered alongside the serving ones.
+
+A :class:`ClusterScenario` is a :class:`~repro.serve.scenarios.ServingScenario`
+plus the fleet configuration: initial size, router policy, optional
+autoscaler, tenant quotas, and prefill/decode disaggregation.  They live in
+the *same* registry as the single-engine scenarios, so tooling that
+enumerates :func:`~repro.serve.scenarios.available_scenarios` sees both
+families; :func:`simulate_cluster_scenario` is the fleet counterpart of
+:func:`~repro.serve.scenarios.simulate_scenario` and accepts per-call
+overrides for sweeps (fleet size, router, disaggregation on/off).
+
+Built-ins:
+
+* ``cluster-chat-fleet`` — the mixed LLM+DiT diurnal trace on a 4-engine
+  least-loaded fleet (the headline "does a fleet beat one engine" study);
+* ``cluster-multi-tenant`` — three tenants with distinct quotas and SLOs
+  under session-affinity routing;
+* ``cluster-autoscale`` — bursty chat against a 1..4-engine autoscaled
+  fleet;
+* ``cluster-disaggregated`` — chat on dedicated prefill/decode pools with
+  a hand-off queue, for comparison against the colocated baseline.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.arch.chip import SystemConfig
+from repro.arch.presets import scaled_system
+from repro.cluster.autoscaler import AutoscalerConfig
+from repro.cluster.simulator import (
+    ClusterResult,
+    ClusterSimulator,
+    DisaggregationConfig,
+)
+from repro.cluster.tenancy import TenantSpec
+from repro.serve.batching import StepLatencyModel
+from repro.serve.metrics import SLOSpec
+from repro.serve.scenarios import (
+    ServingScenario,
+    get_scenario,
+    make_serving_session,
+    register_scenario,
+)
+from repro.serve.workload import RequestShape, bursty_trace, diurnal_trace, poisson_trace
+from repro.api.service import Session
+
+
+class ClusterScenario(ServingScenario):
+    """One named fleet study: a serving scenario plus fleet configuration.
+
+    Attributes:
+        num_engines: Initial fleet size (colocated mode).
+        router: Registered router-policy name.
+        autoscaler: Autoscaler configuration (``None`` = fixed fleet).
+        tenants: Tenant quota/SLO specs enforced at admission.
+        disaggregation: Prefill/decode pool split (``None`` = colocated).
+    """
+
+    num_engines: ClassVar[int] = 2
+    router: ClassVar[str] = "least-loaded"
+    autoscaler: ClassVar[AutoscalerConfig | None] = None
+    tenants: ClassVar[tuple[TenantSpec, ...]] = ()
+    disaggregation: ClassVar[DisaggregationConfig | None] = None
+
+
+# --------------------------------------------------------------------------- #
+# Built-in fleet scenarios.
+# --------------------------------------------------------------------------- #
+_CHAT_SHAPE = RequestShape(
+    model="tiny-llm", prefill_tokens=(64, 256), decode_tokens=(8, 48)
+)
+_DIT_SHAPE = RequestShape(model="tiny-dit", denoise_steps=8)
+
+
+@register_scenario("cluster-chat-fleet")
+class ClusterChatFleet(ClusterScenario):
+    description = "mixed LLM+DiT diurnal traffic on a 4-engine least-loaded fleet"
+    slo = SLOSpec(ttft=5e-3, e2e=20e-3)
+    nominal_rate = 480.0  # 4x the single-engine mixed-traffic load
+    num_engines = 4
+    router = "least-loaded"
+
+    def trace(self, num_requests=64, seed=0, rate_scale=1.0):
+        return diurnal_trace(
+            self.nominal_rate * rate_scale,
+            num_requests,
+            period=2.0,
+            seed=seed,
+            shapes=(_CHAT_SHAPE, _DIT_SHAPE),
+            weights=(3.0, 1.0),
+            name=f"{self.name}@x{rate_scale:g}",
+        )
+
+
+@register_scenario("cluster-multi-tenant")
+class ClusterMultiTenant(ClusterScenario):
+    description = (
+        "three tenants with distinct quotas and SLOs, session-affinity routing"
+    )
+    slo = SLOSpec(ttft=5e-3)
+    nominal_rate = 300.0
+    num_engines = 3
+    router = "session-affinity"
+    tenants = (
+        TenantSpec("enterprise", slo=SLOSpec(ttft=3e-3)),
+        TenantSpec("standard", quota_rps=200.0, burst=16),
+        TenantSpec("batch", quota_rps=40.0, burst=4, slo=SLOSpec()),
+    )
+
+    def trace(self, num_requests=64, seed=0, rate_scale=1.0):
+        shapes = tuple(
+            RequestShape(
+                model="tiny-llm",
+                prefill_tokens=(64, 256),
+                decode_tokens=(8, 48),
+                tenant=tenant,
+            )
+            for tenant in ("enterprise", "standard", "batch")
+        )
+        return poisson_trace(
+            self.nominal_rate * rate_scale,
+            num_requests,
+            seed=seed,
+            shapes=shapes,
+            weights=(2.0, 3.0, 1.0),
+            name=f"{self.name}@x{rate_scale:g}",
+        )
+
+
+@register_scenario("cluster-autoscale")
+class ClusterAutoscale(ClusterScenario):
+    description = "bursty chat against a 1..4-engine autoscaled fleet"
+    slo = SLOSpec(ttft=3e-3, tpot=5e-4)
+    nominal_rate = 500.0
+    num_engines = 1
+    router = "least-loaded"
+    autoscaler = AutoscalerConfig(
+        min_engines=1,
+        max_engines=4,
+        scale_up_queue_depth=4.0,
+        scale_down_queue_depth=0.5,
+        cooldown=0.1,
+        warmup_delay=0.05,
+    )
+
+    def trace(self, num_requests=64, seed=0, rate_scale=1.0):
+        return bursty_trace(
+            self.nominal_rate * rate_scale,
+            num_requests,
+            burst_duration=0.2,
+            idle_duration=0.6,
+            seed=seed,
+            shapes=_CHAT_SHAPE,
+            name=f"{self.name}@x{rate_scale:g}",
+        )
+
+
+@register_scenario("cluster-disaggregated")
+class ClusterDisaggregated(ClusterScenario):
+    description = "chat on dedicated prefill/decode pools with a hand-off queue"
+    slo = SLOSpec(ttft=3e-3, tpot=5e-4)
+    nominal_rate = 300.0
+    router = "least-loaded"
+    disaggregation = DisaggregationConfig(
+        prefill_engines=1, decode_engines=2, handoff_delay=0.0
+    )
+
+    def trace(self, num_requests=64, seed=0, rate_scale=1.0):
+        return poisson_trace(
+            self.nominal_rate * rate_scale,
+            num_requests,
+            seed=seed,
+            shapes=_CHAT_SHAPE,
+            name=f"{self.name}@x{rate_scale:g}",
+        )
+
+
+# --------------------------------------------------------------------------- #
+# One-call driver.
+# --------------------------------------------------------------------------- #
+_UNSET = object()  # "use the scenario's default" (None is a meaningful override)
+
+
+def simulate_cluster_scenario(
+    scenario: str | ClusterScenario,
+    *,
+    system: SystemConfig | None = None,
+    policy: str = "elk-full",
+    num_requests: int = 64,
+    seed: int = 0,
+    rate_scale: float = 1.0,
+    session: Session | None = None,
+    num_layers: int | None = 1,
+    use_simulator: bool = True,
+    num_engines: int | None = None,
+    router: str | None = None,
+    autoscaler: AutoscalerConfig | None = _UNSET,
+    tenants: tuple[TenantSpec, ...] | None = _UNSET,
+    disaggregation: DisaggregationConfig | None = _UNSET,
+    prewarm: bool = False,
+) -> ClusterResult:
+    """Run one registered cluster scenario end to end on a fleet.
+
+    The fleet parameters (``num_engines``, ``router``, ``autoscaler``,
+    ``tenants``, ``disaggregation``) default to the scenario's class
+    configuration; pass any of them to override for a sweep — an explicit
+    ``None`` disables the feature (e.g. ``disaggregation=None`` runs the
+    ``cluster-disaggregated`` trace colocated).  A plain
+    (single-engine) :class:`ServingScenario` name also works — it runs on
+    the default 2-engine fleet unless overridden.
+
+    Args:
+        scenario: Registered scenario name or an instance.
+        system: Target system (default: the 32-core scaled single-chip
+            system, matching the test/CI scale).
+        policy: Compiler policy the step plans are compiled with.
+        num_requests: Trace length.
+        seed: Trace seed (same seed, same fleet metrics, bit for bit).
+        rate_scale: Load multiplier on the scenario's nominal arrival rate.
+        session: Shared compile session; pass one to dedupe bucket compiles
+            across fleet sizes, routers, and rate points.
+        num_layers: Layer-count override for the compiled step workloads.
+        use_simulator: Time step plans with the event-driven simulator
+            (otherwise the analytic timeline).
+        num_engines / router / autoscaler / tenants / disaggregation:
+            Fleet-configuration overrides (default: the scenario's own).
+        prewarm: Compile the full bucket grid up front through one
+            ``compile_many`` fan-out.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    system = system or scaled_system(num_cores=32, num_chips=1)
+    session = session or make_serving_session()
+    latency_model = StepLatencyModel(
+        session,
+        system,
+        policy,
+        buckets=scenario.buckets,
+        num_layers=num_layers,
+        use_simulator=use_simulator,
+    )
+    defaults = (
+        scenario
+        if isinstance(scenario, ClusterScenario)
+        else ClusterScenario  # fleet defaults for plain serving scenarios
+    )
+    simulator = ClusterSimulator(
+        latency_model,
+        num_engines=num_engines if num_engines is not None else defaults.num_engines,
+        router=router if router is not None else defaults.router,
+        autoscaler=defaults.autoscaler if autoscaler is _UNSET else autoscaler,
+        tenants=defaults.tenants if tenants is _UNSET else tenants,
+        disaggregation=(
+            defaults.disaggregation if disaggregation is _UNSET else disaggregation
+        ),
+        prewarm=prewarm,
+    )
+    trace = scenario.trace(num_requests=num_requests, seed=seed, rate_scale=rate_scale)
+    return simulator.run(trace, slo=scenario.slo)

@@ -1,0 +1,597 @@
+"""The fleet-scale serving simulator: N engines, one trace, one session.
+
+:class:`ClusterSimulator` dispatches one :class:`ArrivalTrace` across a
+fleet of :class:`~repro.serve.engine.EngineCore` engines that all share one
+:class:`~repro.serve.batching.StepLatencyModel` — and therefore one compile
+:class:`~repro.api.Session` — so every bucketed step plan compiles exactly
+once fleet-wide no matter how many engines serve it.  The event loop is the
+same heapq discrete-event engine the single-engine simulator uses, extended
+with four event kinds:
+
+* **arrival** — admission control (per-tenant token buckets), then the
+  router picks an engine;
+* **step done** — one engine's iteration completes; finished requests are
+  recorded, prefill hand-offs are forwarded to the decode pool, and the
+  engine starts its next iteration;
+* **engine ready** — a scaled-up engine finishes warming (compiling /
+  loading its bucket plans) and starts taking traffic;
+* **hand-off** — a prefilled request reaches the decode pool (after the
+  configured hand-off delay) and is routed like a fresh arrival.
+
+The autoscaler is evaluated after every arrival batch and step completion.
+Everything is a pure function of the seeded trace and the configuration,
+so cluster metrics are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cluster.autoscaler import (
+    SCALE_ADD,
+    SCALE_DRAIN,
+    SCALE_REMOVE,
+    Autoscaler,
+    AutoscalerConfig,
+    ScaleEvent,
+)
+from repro.cluster.router import EngineView, RouterPolicy, get_router
+from repro.cluster.tenancy import AdmissionController, TenantSpec, as_tenant_map
+from repro.errors import ConfigurationError
+from repro.serve.batching import (
+    PHASE_BOTH,
+    PHASE_DECODE,
+    PHASE_PREFILL,
+    BatchBuckets,
+    RequestState,
+    StepLatencyModel,
+    make_states,
+)
+from repro.serve.engine import EngineCore
+from repro.serve.metrics import RequestRecord, ServingMetrics, SLOSpec, compute_metrics
+from repro.serve.simulator import ServingResult
+from repro.serve.workload import DIFFUSION, ArrivalTrace, RequestSpec
+
+_ARRIVAL = 0
+_STEP_DONE = 1
+_ENGINE_READY = 2
+_HANDOFF = 3
+
+#: Engine roles within a fleet.
+ROLE_COLOCATED = "colocated"
+ROLE_PREFILL = "prefill"
+ROLE_DECODE = "decode"
+
+_ROLE_PHASES = {
+    ROLE_COLOCATED: PHASE_BOTH,
+    ROLE_PREFILL: PHASE_PREFILL,
+    ROLE_DECODE: PHASE_DECODE,
+}
+
+
+@dataclass(frozen=True)
+class DisaggregationConfig:
+    """Prefill/decode disaggregation: dedicated pools and a hand-off queue.
+
+    Attributes:
+        prefill_engines: Engines in the prefill pool (serve prefill passes
+            only, then hand requests off).
+        decode_engines: Engines in the decode pool (serve decode steps and
+            diffusion work).
+        handoff_delay: Seconds a prefilled request spends in the hand-off
+            queue (KV-cache transfer cost) before the decode pool may
+            route it.
+    """
+
+    prefill_engines: int = 1
+    decode_engines: int = 1
+    handoff_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.prefill_engines < 1 or self.decode_engines < 1:
+            raise ConfigurationError(
+                "disaggregation needs at least one engine in each pool"
+            )
+        if self.handoff_delay < 0:
+            raise ConfigurationError("handoff_delay must be >= 0")
+
+
+@dataclass(frozen=True)
+class EngineRecord:
+    """Lifecycle and utilization summary of one fleet engine.
+
+    Attributes:
+        engine_id: Stable identifier within the fleet.
+        role: ``"colocated"``, ``"prefill"``, or ``"decode"``.
+        busy_time: Total time spent executing iterations.
+        num_iterations: Iterations executed.
+        requests_completed: Requests that finished on this engine.
+        added_time: When the engine joined the fleet.
+        ready_time: When it finished warming and could take traffic.
+        removed_time: When it was drained away (``None`` if it survived).
+        utilization: ``busy_time`` over the engine's ready lifespan.
+    """
+
+    engine_id: int
+    role: str
+    busy_time: float
+    num_iterations: int
+    requests_completed: int
+    added_time: float
+    ready_time: float
+    removed_time: float | None
+    utilization: float
+
+
+@dataclass(frozen=True)
+class ClusterResult(ServingResult):
+    """Outcome of one fleet-scale serving simulation.
+
+    Extends :class:`~repro.serve.simulator.ServingResult` (whose
+    ``busy_time`` / ``num_iterations`` aggregate the whole fleet) with the
+    cluster-level story: which router ran, what each engine did, when the
+    autoscaler acted, and what admission control rejected.
+    """
+
+    router: str = ""
+    engines: tuple[EngineRecord, ...] = ()
+    scale_events: tuple[ScaleEvent, ...] = ()
+    rejected: tuple[RequestSpec, ...] = ()
+    tenants: tuple[TenantSpec, ...] = field(default=(), compare=False)
+
+    @property
+    def fleet_size(self) -> int:
+        """Engines that ever served in the run."""
+        return len(self.engines)
+
+    @property
+    def peak_fleet_size(self) -> int:
+        """Largest simultaneously active fleet the autoscaler reached."""
+        if not self.scale_events:
+            return len(self.engines)
+        return max(
+            len([e for e in self.engines if e.removed_time is None]),
+            max(event.fleet_size for event in self.scale_events),
+        )
+
+    def engine_utilization(self) -> dict[int, float]:
+        """``{engine_id: utilization}`` across the fleet."""
+        return {record.engine_id: record.utilization for record in self.engines}
+
+    def rejections_by_tenant(self) -> dict[str, int]:
+        """Rejected-request counts per tenant (empty when nothing rejected)."""
+        counts: dict[str, int] = {}
+        for spec in self.rejected:
+            counts[spec.tenant] = counts.get(spec.tenant, 0) + 1
+        return counts
+
+    def tenant_metrics(self) -> dict[str, ServingMetrics]:
+        """Per-tenant :class:`ServingMetrics`, under each tenant's own SLO.
+
+        Tenants without a dedicated SLO are judged against the run-level
+        one.  Busy time is not attributable per tenant (tenants share
+        engines over time), so per-tenant utilization reads 0.
+        """
+        slos = {spec.name: spec.slo for spec in self.tenants}
+        by_tenant: dict[str, list[RequestRecord]] = {}
+        for record in self.records:
+            by_tenant.setdefault(record.spec.tenant, []).append(record)
+        return {
+            tenant: compute_metrics(records, slo=slos.get(tenant) or self.slo)
+            for tenant, records in sorted(by_tenant.items())
+        }
+
+
+@dataclass
+class _Engine:
+    """Fleet-internal engine bookkeeping (core + lifecycle)."""
+
+    core: EngineCore
+    role: str
+    added_time: float
+    ready_time: float
+    draining: bool = False
+    removed_time: float | None = None
+
+    @property
+    def active(self) -> bool:
+        return not self.draining and self.removed_time is None
+
+    def view(self) -> EngineView:
+        return EngineView(
+            engine_id=self.core.engine_id,
+            queue_depth=self.core.queue_depth,
+            running=self.core.running,
+            in_flight_tokens=self.core.in_flight_tokens(),
+        )
+
+
+class ClusterSimulator:
+    """Discrete-event simulation of a router-fronted fleet of engines.
+
+    Args:
+        latency_model: Bucketed step latencies, shared by every engine in
+            the fleet (this is what makes bucket plans compile once
+            fleet-wide through the underlying session).
+        num_engines: Initial fleet size (colocated mode; ignored when
+            ``disaggregation`` is given).
+        router: Registered router name or a :class:`RouterPolicy` instance.
+        buckets: Shape grid for the engines (defaults to the latency
+            model's).
+        autoscaler: Enables autoscaling of a colocated fleet
+            (incompatible with ``disaggregation``).
+        tenants: Per-tenant admission quotas and SLOs.
+        disaggregation: Split the fleet into dedicated prefill and decode
+            pools with a hand-off queue.
+        prewarm: Compile the full bucket grid for every (model, kind)
+            group in the trace before serving, via one
+            :meth:`Session.compile_many` fan-out.
+    """
+
+    def __init__(
+        self,
+        latency_model: StepLatencyModel,
+        *,
+        num_engines: int = 2,
+        router: str | RouterPolicy = "least-loaded",
+        buckets: BatchBuckets | None = None,
+        autoscaler: AutoscalerConfig | None = None,
+        tenants=None,
+        disaggregation: DisaggregationConfig | None = None,
+        prewarm: bool = False,
+    ) -> None:
+        if num_engines < 1:
+            raise ConfigurationError("num_engines must be >= 1")
+        if autoscaler is not None and disaggregation is not None:
+            raise ConfigurationError(
+                "autoscaling disaggregated pools is not supported; pick one"
+            )
+        self.latency_model = latency_model
+        self.buckets = buckets or latency_model.buckets
+        self.num_engines = num_engines
+        self.router = get_router(router) if isinstance(router, str) else router
+        if not isinstance(self.router, RouterPolicy):
+            raise ConfigurationError(
+                f"router must be a name or RouterPolicy, got {self.router!r}"
+            )
+        self.autoscaler_config = autoscaler
+        self.tenants = as_tenant_map(tenants)
+        self.disaggregation = disaggregation
+        self.prewarm = prewarm
+
+    # ----------------------------------------------------------------- running
+    def run(self, trace: ArrivalTrace, slo: SLOSpec | None = None) -> ClusterResult:
+        """Serve every admitted request of ``trace``; return the fleet result."""
+        if self.prewarm:
+            groups = sorted(
+                {(spec.model.lower(), spec.kind) for spec in trace.requests}
+            )
+            self.latency_model.prewarm(groups)
+
+        engines: dict[int, _Engine] = {}
+        engine_ids = itertools.count()
+        sequence = itertools.count()
+        heap: list[tuple[float, int, int, object]] = []
+        admission = AdmissionController(self.tenants)
+        autoscaler = (
+            Autoscaler(self.autoscaler_config)
+            if self.autoscaler_config is not None
+            else None
+        )
+        records: list[RequestRecord] = []
+        rejected: list[RequestSpec] = []
+        scale_events: list[ScaleEvent] = []
+        end_time = 0.0
+
+        def add_engine(role: str, added: float, ready: float) -> _Engine:
+            engine_id = next(engine_ids)
+            engine = _Engine(
+                core=EngineCore(
+                    self.latency_model,
+                    self.buckets,
+                    engine_id=engine_id,
+                    phase=_ROLE_PHASES[role],
+                ),
+                role=role,
+                added_time=added,
+                ready_time=ready,
+            )
+            engines[engine_id] = engine
+            return engine
+
+        # Seed the initial fleet, ready at t=0 (prewarmed before traffic).
+        if self.disaggregation is not None:
+            for _ in range(self.disaggregation.prefill_engines):
+                add_engine(ROLE_PREFILL, 0.0, 0.0)
+            for _ in range(self.disaggregation.decode_engines):
+                add_engine(ROLE_DECODE, 0.0, 0.0)
+        else:
+            for _ in range(self.num_engines):
+                add_engine(ROLE_COLOCATED, 0.0, 0.0)
+
+        for state in make_states(trace):
+            heapq.heappush(
+                heap, (state.spec.arrival_time, next(sequence), _ARRIVAL, state)
+            )
+
+        def active_fleet() -> list[_Engine]:
+            return [e for e in engines.values() if e.active]
+
+        def dispatchable(role_needed: str | None, now: float) -> list[_Engine]:
+            return [
+                engine
+                for engine_id, engine in sorted(engines.items())
+                if engine.active
+                and engine.ready_time <= now
+                and (role_needed is None or engine.role == role_needed)
+            ]
+
+        def role_for(state: RequestState) -> str | None:
+            if self.disaggregation is None:
+                return ROLE_COLOCATED
+            if state.spec.kind != DIFFUSION and state.prefill_pending:
+                return ROLE_PREFILL
+            return ROLE_DECODE
+
+        def kick(engine: _Engine, now: float) -> None:
+            """Start the engine's next iteration, or finalize a drain."""
+            if engine.removed_time is not None or engine.core.busy:
+                return
+            if engine.ready_time > now:
+                return
+            started = engine.core.start_iteration(now)
+            if started is not None:
+                batch, latency = started
+                heapq.heappush(
+                    heap,
+                    (
+                        now + latency,
+                        next(sequence),
+                        _STEP_DONE,
+                        (engine.core.engine_id, batch),
+                    ),
+                )
+            elif engine.draining and not engine.core.has_work():
+                engine.removed_time = now
+                scale_events.append(
+                    ScaleEvent(
+                        time=now,
+                        action=SCALE_REMOVE,
+                        engine_id=engine.core.engine_id,
+                        fleet_size=len(active_fleet()),
+                        reason="drained empty",
+                    )
+                )
+
+        def dispatch(state: RequestState, now: float) -> _Engine:
+            """Route one request to an engine's wait queue (no kick)."""
+            role_needed = role_for(state)
+            candidates = dispatchable(role_needed, now)
+            if not candidates:
+                # Every engine of the pool is still warming: park the
+                # request on the earliest-ready active engine.  It cannot
+                # happen with a ready initial fleet and drain-guarded
+                # scale-downs, but stay deterministic if it does.
+                pool = [
+                    e
+                    for e in active_fleet()
+                    if role_needed is None or e.role == role_needed
+                ]
+                if not pool:
+                    raise ConfigurationError(
+                        f"no active engine can serve role {role_needed!r}"
+                    )
+                chosen = min(pool, key=lambda e: (e.ready_time, e.core.engine_id))
+            else:
+                choice = self.router.choose(
+                    state, [engine.view() for engine in candidates], now
+                )
+                valid = {engine.core.engine_id for engine in candidates}
+                if choice not in valid:
+                    raise ConfigurationError(
+                        f"router {self.router.name!r} chose engine {choice}, "
+                        f"not one of {sorted(valid)}"
+                    )
+                chosen = engines[choice]
+            chosen.core.enqueue(state)
+            return chosen
+
+        def autoscale(now: float) -> None:
+            if autoscaler is None:
+                return
+            active = active_fleet()
+            total_waiting = sum(
+                engine.core.queue_depth
+                for engine in active
+                if engine.ready_time <= now
+            )
+            decision = autoscaler.decide(now, len(active), total_waiting)
+            if decision is None:
+                return
+            config = self.autoscaler_config
+            reason = (
+                f"avg_queue={total_waiting / max(1, len(active)):.3g}, "
+                f"attainment={autoscaler.attainment:.3g}"
+            )
+            if decision == "up":
+                engine = add_engine(
+                    ROLE_COLOCATED, now, now + config.warmup_delay
+                )
+                heapq.heappush(
+                    heap,
+                    (
+                        engine.ready_time,
+                        next(sequence),
+                        _ENGINE_READY,
+                        engine.core.engine_id,
+                    ),
+                )
+                scale_events.append(
+                    ScaleEvent(
+                        time=now,
+                        action=SCALE_ADD,
+                        engine_id=engine.core.engine_id,
+                        fleet_size=len(active_fleet()),
+                        reason=reason,
+                    )
+                )
+                return
+            # Scale down: drain the least-loaded *ready* engine, keeping at
+            # least one ready engine taking traffic.
+            ready = [engine for engine in active if engine.ready_time <= now]
+            if len(ready) < 2:
+                return
+            victim = min(
+                ready,
+                key=lambda e: (
+                    e.core.queue_depth + e.core.running,
+                    -e.core.engine_id,
+                ),
+            )
+            victim.draining = True
+            scale_events.append(
+                ScaleEvent(
+                    time=now,
+                    action=SCALE_DRAIN,
+                    engine_id=victim.core.engine_id,
+                    fleet_size=len(active_fleet()),
+                    reason=reason,
+                )
+            )
+            # Queued (unadmitted) requests re-route to the surviving fleet;
+            # admitted ones finish where they run.
+            for state in victim.core.batcher.drain_waiting():
+                kick(dispatch(state, now), now)
+            kick(victim, now)  # finalizes immediately if already empty
+
+        def slo_for_record(record: RequestRecord) -> SLOSpec | None:
+            return admission.slo_for(record.spec.tenant) or slo
+
+        while heap:
+            now, _, kind, payload = heapq.heappop(heap)
+            end_time = now
+            if kind == _ARRIVAL:
+                # Drain every arrival with this exact timestamp before
+                # kicking engines, so simultaneous requests (offline
+                # batches, burst heads) can share the iterations they
+                # trigger — same policy as the single-engine simulator.
+                batch_states = [payload]
+                while heap and heap[0][0] == now and heap[0][2] == _ARRIVAL:
+                    batch_states.append(heapq.heappop(heap)[3])
+                touched: dict[int, _Engine] = {}
+                for state in batch_states:
+                    assert isinstance(state, RequestState)
+                    if not admission.admit(state.spec.tenant, now):
+                        rejected.append(state.spec)
+                        continue
+                    engine = dispatch(state, now)
+                    touched[engine.core.engine_id] = engine
+                for engine in touched.values():
+                    kick(engine, now)
+                autoscale(now)
+            elif kind == _STEP_DONE:
+                engine_id, batch = payload
+                engine = engines[engine_id]
+                for state in engine.core.complete_iteration(batch, now):
+                    if state.finished:
+                        record = RequestRecord(
+                            spec=state.spec,
+                            arrival_time=state.spec.arrival_time,
+                            started_time=state.started_time,
+                            first_token_time=state.first_token_time,
+                            completion_time=state.completion_time,
+                        )
+                        records.append(record)
+                        if autoscaler is not None:
+                            record_slo = slo_for_record(record)
+                            autoscaler.observe(
+                                record_slo.met_by(record)
+                                if record_slo is not None
+                                else True
+                            )
+                    else:
+                        # Prefill finished: hand off to the decode pool.
+                        delay = self.disaggregation.handoff_delay
+                        heapq.heappush(
+                            heap, (now + delay, next(sequence), _HANDOFF, state)
+                        )
+                kick(engine, now)
+                autoscale(now)
+            elif kind == _ENGINE_READY:
+                # A scaled-up engine just warmed.  Queued requests are not
+                # yet admitted into any batch, so the front door rebalances
+                # them across the grown fleet in FCFS order — without this,
+                # a backlog that triggered the scale-up would stay pinned
+                # to the engines it queued on and the new engine would idle.
+                pending: list[RequestState] = []
+                for _, other in sorted(engines.items()):
+                    if other.active and other.ready_time <= now:
+                        pending.extend(other.core.batcher.drain_waiting())
+                pending.sort(key=lambda s: (s.spec.arrival_time, s.spec.request_id))
+                touched = {payload: engines[payload]}
+                for state in pending:
+                    chosen = dispatch(state, now)
+                    touched[chosen.core.engine_id] = chosen
+                for engine in touched.values():
+                    kick(engine, now)
+                autoscale(now)
+            else:
+                assert kind == _HANDOFF
+                state = payload
+                kick(dispatch(state, now), now)
+
+        for engine in engines.values():
+            assert not engine.core.has_work(), (
+                "cluster simulation ended with unfinished requests"
+            )
+
+        engine_records = []
+        for engine_id, engine in sorted(engines.items()):
+            lifespan = (
+                engine.removed_time if engine.removed_time is not None else end_time
+            ) - engine.ready_time
+            engine_records.append(
+                EngineRecord(
+                    engine_id=engine_id,
+                    role=engine.role,
+                    busy_time=engine.core.busy_time,
+                    num_iterations=engine.core.iterations,
+                    requests_completed=engine.core.completed,
+                    added_time=engine.added_time,
+                    ready_time=engine.ready_time,
+                    removed_time=engine.removed_time,
+                    utilization=(
+                        min(1.0, engine.core.busy_time / lifespan)
+                        if lifespan > 0
+                        else 0.0
+                    ),
+                )
+            )
+
+        return ClusterResult(
+            trace_name=trace.name,
+            policy=self.latency_model.policy,
+            records=tuple(records),
+            busy_time=sum(record.busy_time for record in engine_records),
+            num_iterations=sum(r.num_iterations for r in engine_records),
+            compiled_shapes=tuple(self.latency_model.compiled_shapes()),
+            slo=slo,
+            router=self.router.name,
+            engines=tuple(engine_records),
+            scale_events=tuple(scale_events),
+            rejected=tuple(rejected),
+            tenants=tuple(self.tenants.values()),
+        )
+
+
+def simulate_cluster(
+    trace: ArrivalTrace,
+    latency_model: StepLatencyModel,
+    *,
+    slo: SLOSpec | None = None,
+    **cluster_kwargs,
+) -> ClusterResult:
+    """One-call convenience: run ``trace`` on a fresh fleet."""
+    return ClusterSimulator(latency_model, **cluster_kwargs).run(trace, slo=slo)

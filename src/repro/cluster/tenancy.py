@@ -1,0 +1,117 @@
+"""Per-tenant admission control: token-bucket quotas and per-tenant SLOs.
+
+A :class:`TenantSpec` names one tenant (customer, traffic class) and
+optionally caps its admission rate with a token bucket and pins its own
+:class:`~repro.serve.metrics.SLOSpec`.  The :class:`AdmissionController`
+enforces the quotas at arrival time: requests from over-quota tenants are
+*rejected* (they never reach a router or an engine), which is how a
+production front door protects fleet SLOs from one tenant's burst.
+
+The token bucket is exact and deterministic: refills are computed from the
+arrival timestamps themselves, so a seeded trace always admits and rejects
+the same requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.serve.metrics import SLOSpec
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's admission quota and service objective.
+
+    Attributes:
+        name: Tenant id, matched against ``RequestSpec.tenant``.
+        quota_rps: Sustained admission rate cap, requests/second
+            (``None`` = unlimited).
+        burst: Token-bucket capacity — how many requests may arrive
+            back-to-back before the sustained rate applies.
+        slo: Per-tenant SLO for goodput attribution (``None`` falls back
+            to the run-level SLO).
+    """
+
+    name: str
+    quota_rps: float | None = None
+    burst: int = 8
+    slo: SLOSpec | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant name must be non-empty")
+        if self.quota_rps is not None and self.quota_rps <= 0:
+            raise ConfigurationError("quota_rps must be positive (or None)")
+        if self.burst < 1:
+            raise ConfigurationError("burst must be >= 1")
+
+
+def as_tenant_map(
+    tenants: Iterable[TenantSpec] | Mapping[str, TenantSpec] | None,
+) -> dict[str, TenantSpec]:
+    """Normalize a tenant collection to ``{name: spec}`` (empty if None)."""
+    if tenants is None:
+        return {}
+    if isinstance(tenants, Mapping):
+        specs = list(tenants.values())
+    else:
+        specs = list(tenants)
+    out: dict[str, TenantSpec] = {}
+    for spec in specs:
+        if not isinstance(spec, TenantSpec):
+            raise ConfigurationError(f"expected TenantSpec, got {spec!r}")
+        if spec.name in out:
+            raise ConfigurationError(f"duplicate tenant spec {spec.name!r}")
+        out[spec.name] = spec
+    return out
+
+
+class AdmissionController:
+    """Token-bucket admission over a tenant map.
+
+    Tenants without a spec, or with ``quota_rps=None``, are always
+    admitted.  Buckets start full (``burst`` tokens) and refill
+    continuously at ``quota_rps``; an arrival is admitted iff a full token
+    is available, and rejection does not consume anything.
+    """
+
+    def __init__(
+        self, tenants: Iterable[TenantSpec] | Mapping[str, TenantSpec] | None
+    ) -> None:
+        self.tenants = as_tenant_map(tenants)
+        self._tokens: dict[str, float] = {
+            name: float(spec.burst)
+            for name, spec in self.tenants.items()
+            if spec.quota_rps is not None
+        }
+        self._last_refill: dict[str, float] = {name: 0.0 for name in self._tokens}
+        self.admitted: dict[str, int] = {}
+        self.rejected: dict[str, int] = {}
+
+    def slo_for(self, tenant: str) -> SLOSpec | None:
+        """The tenant's own SLO, if one was specced."""
+        spec = self.tenants.get(tenant)
+        return spec.slo if spec is not None else None
+
+    def admit(self, tenant: str, now: float) -> bool:
+        """Whether an arrival from ``tenant`` at ``now`` may enter the fleet."""
+        spec = self.tenants.get(tenant)
+        if spec is None or spec.quota_rps is None:
+            self.admitted[tenant] = self.admitted.get(tenant, 0) + 1
+            return True
+        tokens = min(
+            float(spec.burst),
+            self._tokens[tenant]
+            + (now - self._last_refill[tenant]) * spec.quota_rps,
+        )
+        self._last_refill[tenant] = now
+        if tokens >= 1.0:
+            self._tokens[tenant] = tokens - 1.0
+            self.admitted[tenant] = self.admitted.get(tenant, 0) + 1
+            return True
+        self._tokens[tenant] = tokens
+        self.rejected[tenant] = self.rejected.get(tenant, 0) + 1
+        return False

@@ -73,16 +73,23 @@ def save_results(
 # on repro.serve.
 # --------------------------------------------------------------------------- #
 
-#: Column order of the standard serving section.
+#: Column order of the standard serving section.  Cluster runs add the
+#: fleet labels (router, num_engines) and single-engine rows simply omit
+#: them; queue-wait percentiles are the signal routing and autoscaling
+#: studies move without touching per-step latency.
 SERVING_SUMMARY_COLUMNS = (
     "scenario",
     "policy",
     "rate_scale",
+    "router",
+    "num_engines",
     "requests",
     "throughput_rps",
     "tokens_per_s",
     "goodput_rps",
     "goodput_fraction",
+    "queue_p50_ms",
+    "queue_p95_ms",
     "ttft_p50_ms",
     "ttft_p95_ms",
     "ttft_p99_ms",

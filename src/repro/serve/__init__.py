@@ -23,12 +23,17 @@ through :class:`ServingSimulator`.  New scenarios register by name via
 """
 
 from repro.serve.batching import (
+    ENGINE_PHASES,
+    PHASE_BOTH,
+    PHASE_DECODE,
+    PHASE_PREFILL,
     Batch,
     BatchBuckets,
     ContinuousBatcher,
     RequestState,
     StepLatencyModel,
 )
+from repro.serve.engine import EngineCore
 from repro.serve.metrics import (
     RequestRecord,
     ServingMetrics,
@@ -48,6 +53,7 @@ from repro.serve.scenarios import (
 )
 from repro.serve.simulator import ServingResult, ServingSimulator, simulate_serving
 from repro.serve.workload import (
+    DEFAULT_TENANT,
     TRACE_GENERATORS,
     TRACE_SCHEMA_VERSION,
     ArrivalTrace,
@@ -62,9 +68,14 @@ from repro.serve.workload import (
 )
 
 __all__ = [
+    "ENGINE_PHASES",
+    "PHASE_BOTH",
+    "PHASE_DECODE",
+    "PHASE_PREFILL",
     "Batch",
     "BatchBuckets",
     "ContinuousBatcher",
+    "EngineCore",
     "RequestState",
     "StepLatencyModel",
     "RequestRecord",
@@ -83,6 +94,7 @@ __all__ = [
     "ServingResult",
     "ServingSimulator",
     "simulate_serving",
+    "DEFAULT_TENANT",
     "TRACE_GENERATORS",
     "TRACE_SCHEMA_VERSION",
     "ArrivalTrace",

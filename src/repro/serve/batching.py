@@ -12,8 +12,12 @@ request — and reads the per-step latency off the event-driven simulator.
 :class:`ContinuousBatcher` is the queueing mechanism: FCFS admission into a
 bounded running set, iteration-boundary scheduling (requests join and leave
 between steps, never mid-step), and least-recently-served rotation between
-model groups so mixed traffic (e.g. an LLM and a DiT sharing an engine)
-cannot starve either side.
+``(tenant, model, kind)`` groups so mixed traffic (e.g. an LLM and a DiT
+sharing an engine, or two tenants sharing a model) cannot starve any side.
+A batcher can also run as one half of a disaggregated fleet: a
+``phase="prefill"`` batcher releases LLM requests to a hand-off queue the
+moment their prefill completes, and a ``phase="decode"`` batcher accepts
+only requests whose prefill already ran elsewhere.
 """
 
 from __future__ import annotations
@@ -31,6 +35,13 @@ from repro.errors import ConfigurationError
 from repro.ir.models.registry import DIT_CONFIGS
 from repro.serve.workload import DIFFUSION, RequestSpec
 from repro.sim.multichip import simulate_system
+
+#: Engine phases: a colocated engine runs both phases with chunked prefill;
+#: a disaggregated fleet splits them across dedicated pools.
+PHASE_BOTH = "both"
+PHASE_PREFILL = "prefill"
+PHASE_DECODE = "decode"
+ENGINE_PHASES = (PHASE_BOTH, PHASE_PREFILL, PHASE_DECODE)
 
 
 @dataclass(frozen=True)
@@ -160,6 +171,47 @@ class StepLatencyModel:
         with self._lock:
             return sorted(self._latencies)
 
+    def prewarm(
+        self,
+        groups: Iterable[tuple[str, str]],
+        *,
+        max_workers: int | None = None,
+        backend: str | None = None,
+    ) -> int:
+        """Compile every bucketed shape of ``groups`` up front; return the count.
+
+        ``groups`` are (model, kind) pairs (kind ``"llm"`` or
+        ``"diffusion"``).  The full bucket grid of each group is fanned out
+        through :meth:`Session.compile_many` in one batch — deduplicated
+        against everything the shared session (and its on-disk store, if
+        any) already holds — then the per-step latencies are resolved into
+        this model's cache.  A fleet that prewarms before taking traffic
+        compiles each bucket plan exactly once no matter how many engines
+        share the session.
+        """
+        shapes: list[tuple[str, str, int, int]] = []
+        for model, kind in groups:
+            if kind == DIFFUSION:
+                shapes.extend(
+                    (model, "diffusion", batch, 0)
+                    for batch in self.buckets.batch_sizes
+                )
+            else:
+                shapes.extend(
+                    (model, phase, batch, context)
+                    for phase in ("prefill", "decode")
+                    for batch in self.buckets.batch_sizes
+                    for context in self.buckets.context_buckets
+                )
+        requests = [
+            CompileRequest(self._workload(*shape), self.system, self.policy)
+            for shape in shapes
+        ]
+        self.session.compile_many(requests, max_workers=max_workers, backend=backend)
+        for shape in shapes:
+            self._step_latency(*shape)
+        return len(shapes)
+
     # --------------------------------------------------------------- internal
     def _step_latency(
         self, model: str, phase: str, batch_bucket: int, context_bucket: int
@@ -245,9 +297,11 @@ class RequestState:
     steps_done: int = 0
 
     @property
-    def group(self) -> tuple[str, str]:
-        """Batching group: requests batch only with the same (model, kind)."""
-        return (self.spec.model.lower(), self.spec.kind)
+    def group(self) -> tuple[str, str, str]:
+        """Batching group: requests batch only within the same
+        (tenant, model, kind) — tenants never share an iteration, which is
+        what makes per-tenant admission control and SLO attribution exact."""
+        return (self.spec.tenant, self.spec.model.lower(), self.spec.kind)
 
     @property
     def prefill_pending(self) -> bool:
@@ -269,12 +323,12 @@ class Batch:
     """One iteration's worth of work: same-group requests stepping together.
 
     Attributes:
-        group: The (model, kind) group the batch was formed from.
+        group: The (tenant, model, kind) group the batch was formed from.
         requests: The running requests scheduled this iteration.
         prefills: The subset doing their prefill pass this iteration.
     """
 
-    group: tuple[str, str]
+    group: tuple[str, str, str]
     requests: list[RequestState]
     prefills: list[RequestState] = field(default_factory=list)
 
@@ -286,22 +340,37 @@ class ContinuousBatcher:
     """Iteration-boundary admission and batch formation.
 
     Requests wait FCFS; at every iteration boundary the batcher admits
-    waiting requests into their model group's running set (bounded by the
-    largest batch bucket per group) and schedules the least-recently-served
-    group that has runnable work.  All decisions are deterministic functions
-    of the arrival order, so a seeded trace always serves identically.
+    waiting requests into their group's running set (bounded by the largest
+    batch bucket per group) and schedules the least-recently-served group
+    that has runnable work.  All decisions are deterministic functions of
+    the arrival order, so a seeded trace always serves identically.
+
+    Args:
+        buckets: The compiled shape grid admission is bounded by.
+        phase: ``"both"`` (colocated engine, the default), ``"prefill"``
+            (dedicated prefill pool: LLM requests are released for hand-off
+            the moment their prefill pass completes), or ``"decode"``
+            (dedicated decode pool: only accepts requests whose prefill
+            already ran, plus diffusion work, which has no prefill).
     """
 
-    def __init__(self, buckets: BatchBuckets | None = None) -> None:
+    def __init__(
+        self, buckets: BatchBuckets | None = None, phase: str = PHASE_BOTH
+    ) -> None:
+        if phase not in ENGINE_PHASES:
+            raise ConfigurationError(
+                f"unknown engine phase {phase!r}; expected one of {ENGINE_PHASES}"
+            )
         self.buckets = buckets or BatchBuckets()
+        self.phase = phase
         # Per-group FCFS wait queues: requests only compete for admission
         # slots within their own group, and per-group queues keep each
         # iteration's admission work proportional to what is admitted
         # instead of the total queue depth.
-        self._waiting: dict[tuple[str, str], deque[RequestState]] = {}
-        self._running: dict[tuple[str, str], list[RequestState]] = {}
-        self._last_served: dict[tuple[str, str], int] = {}
-        self._first_seen: dict[tuple[str, str], int] = {}
+        self._waiting: dict[tuple[str, str, str], deque[RequestState]] = {}
+        self._running: dict[tuple[str, str, str], list[RequestState]] = {}
+        self._last_served: dict[tuple[str, str, str], int] = {}
+        self._first_seen: dict[tuple[str, str, str], int] = {}
         self._iteration = 0
 
     # ------------------------------------------------------------------ state
@@ -319,11 +388,48 @@ class ContinuousBatcher:
         """Whether any request is waiting or running."""
         return self.waiting > 0 or self.running > 0
 
+    def in_flight_tokens(self) -> int:
+        """Output units still owed to waiting and admitted requests.
+
+        The load signal least-loaded routing and autoscaling read: queue
+        depth counts heads, this counts the work behind them.
+        """
+        total = 0
+        for queues in (self._waiting.values(), self._running.values()):
+            for states in queues:
+                for state in states:
+                    total += state.spec.output_units - state.steps_done
+        return total
+
     # ------------------------------------------------------------- operations
     def enqueue(self, state: RequestState) -> None:
         """Add an arrived request to its group's FCFS wait queue."""
+        if self.phase == PHASE_PREFILL and state.spec.kind == DIFFUSION:
+            raise ConfigurationError(
+                "diffusion requests have no prefill pass; route them to a "
+                "decode (or colocated) engine"
+            )
+        if self.phase == PHASE_DECODE and state.prefill_pending:
+            raise ConfigurationError(
+                "a decode-pool engine only accepts requests whose prefill "
+                "already ran; route fresh LLM requests to a prefill engine"
+            )
         self._first_seen.setdefault(state.group, len(self._first_seen))
         self._waiting.setdefault(state.group, deque()).append(state)
+
+    def drain_waiting(self) -> list[RequestState]:
+        """Remove and return every not-yet-admitted request.
+
+        Used when an engine drains for scale-down: admitted requests finish
+        where they run, but queued ones are re-routed to the surviving
+        fleet.  Order is deterministic (group first-seen order, FCFS within
+        each group).
+        """
+        drained: list[RequestState] = []
+        for queue in self._waiting.values():
+            drained.extend(queue)
+            queue.clear()
+        return drained
 
     def form_batch(self, now: float) -> Batch | None:
         """Admit waiting requests and pick the next iteration's batch.
@@ -366,14 +472,17 @@ class ContinuousBatcher:
         )
 
     def complete_step(self, batch: Batch, now: float) -> list[RequestState]:
-        """Apply one finished iteration; return the requests it completed.
+        """Apply one finished iteration; return the requests it released.
 
         Every request in the batch produced one output unit (the prefill
-        pass also yields the first token).  Finished requests leave their
+        pass also yields the first token).  Released requests leave their
         running set immediately, freeing admission slots for the next
-        iteration.
+        iteration.  On a colocated (``"both"``) or decode engine every
+        released request is finished; a prefill engine additionally
+        releases unfinished requests whose prefill pass just completed —
+        check :attr:`RequestState.finished` to tell hand-offs apart.
         """
-        completed = []
+        released = []
         for state in batch.requests:
             first_output = state.steps_done == 0
             state.steps_done += 1
@@ -383,11 +492,15 @@ class ContinuousBatcher:
                 state.completion_time = now
                 if state.first_token_time is None:
                     state.first_token_time = now
-                completed.append(state)
-        if completed:
-            survivors = [s for s in self._running[batch.group] if not s.finished]
-            self._running[batch.group] = survivors
-        return completed
+                released.append(state)
+            elif self.phase == PHASE_PREFILL and not state.prefill_pending:
+                released.append(state)  # prefill done: hand off to decode
+        if released:
+            leaving = {id(state) for state in released}
+            self._running[batch.group] = [
+                s for s in self._running[batch.group] if id(s) not in leaving
+            ]
+        return released
 
     def batch_latency(self, batch: Batch, latency_model: StepLatencyModel) -> float:
         """Iteration latency of ``batch`` under ``latency_model``.
@@ -399,7 +512,7 @@ class ContinuousBatcher:
         requests already generating; the decode context compiles at the
         bucketed maximum KV length in the batch.
         """
-        model, kind = batch.group
+        _tenant, model, kind = batch.group
         if kind == DIFFUSION:
             return latency_model.diffusion_latency(model, len(batch))
         latency = 0.0

@@ -141,6 +141,9 @@ class ServingMetrics:
         ttft_mean / ttft_p50 / ttft_p95 / ttft_p99: TTFT statistics, seconds.
         tpot_mean / tpot_p50 / tpot_p95 / tpot_p99: TPOT statistics, seconds.
         e2e_p50 / e2e_p95 / e2e_p99: End-to-end latency percentiles, seconds.
+        queue_p50 / queue_p95: Queue-wait percentiles (admission → first
+            scheduled iteration), seconds — the number router and autoscaler
+            studies move without touching per-step latency.
         slo: The SLO goodput was evaluated against (``None`` if none given).
         goodput_rps: SLO-meeting requests per second of makespan.
         goodput_fraction: Fraction of requests meeting the SLO (1.0 when no
@@ -164,6 +167,8 @@ class ServingMetrics:
     e2e_p50: float
     e2e_p95: float
     e2e_p99: float
+    queue_p50: float = 0.0
+    queue_p95: float = 0.0
     slo: SLOSpec | None = field(default=None, compare=False)
     goodput_rps: float = 0.0
     goodput_fraction: float = 1.0
@@ -176,6 +181,8 @@ class ServingMetrics:
             "tokens_per_s": self.throughput_tokens_per_s,
             "goodput_rps": self.goodput_rps,
             "goodput_fraction": self.goodput_fraction,
+            "queue_p50_ms": self.queue_p50 * 1e3,
+            "queue_p95_ms": self.queue_p95 * 1e3,
             "ttft_p50_ms": self.ttft_p50 * 1e3,
             "ttft_p95_ms": self.ttft_p95 * 1e3,
             "ttft_p99_ms": self.ttft_p99 * 1e3,
@@ -219,6 +226,7 @@ def compute_metrics(
     ttfts = [record.ttft for record in records]
     tpots = [record.tpot for record in records]
     e2es = [record.e2e for record in records]
+    queues = [record.queue_delay for record in records]
     tokens = sum(record.spec.output_units for record in records)
     per_second = (lambda count: count / makespan) if makespan > 0 else (lambda _: 0.0)
     if slo is None:
@@ -242,6 +250,7 @@ def compute_metrics(
         tpot_p99=percentile(tpots, 99),
         e2e_p50=percentile(e2es, 50), e2e_p95=percentile(e2es, 95),
         e2e_p99=percentile(e2es, 99),
+        queue_p50=percentile(queues, 50), queue_p95=percentile(queues, 95),
         slo=slo,
         goodput_rps=per_second(met) if slo is not None else per_second(len(records)),
         goodput_fraction=goodput_fraction,

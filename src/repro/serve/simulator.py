@@ -26,14 +26,13 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigurationError
 from repro.serve.batching import (
     Batch,
     BatchBuckets,
-    ContinuousBatcher,
     StepLatencyModel,
     make_states,
 )
+from repro.serve.engine import EngineCore
 from repro.serve.metrics import (
     RequestRecord,
     ServingMetrics,
@@ -105,7 +104,7 @@ class ServingSimulator:
 
     def run(self, trace: ArrivalTrace, slo: SLOSpec | None = None) -> ServingResult:
         """Serve every request of ``trace``; return the completed-run result."""
-        batcher = ContinuousBatcher(self.buckets)
+        engine = EngineCore(self.latency_model, self.buckets)
         sequence = itertools.count()
         heap: list[tuple[float, int, int, object]] = []
         for state in make_states(trace):
@@ -114,40 +113,29 @@ class ServingSimulator:
             )
 
         records: list[RequestRecord] = []
-        busy = False
-        busy_time = 0.0
-        iterations = 0
 
-        def start_iteration(now: float) -> bool:
-            nonlocal busy, busy_time, iterations
-            batch = batcher.form_batch(now)
-            if batch is None:
-                return False
-            latency = batcher.batch_latency(batch, self.latency_model)
-            if latency <= 0:
-                raise ConfigurationError(
-                    f"non-positive step latency for batch {batch.group}"
+        def start_iteration(now: float) -> None:
+            started = engine.start_iteration(now)
+            if started is not None:
+                batch, latency = started
+                heapq.heappush(
+                    heap, (now + latency, next(sequence), _STEP_DONE, batch)
                 )
-            iterations += 1
-            busy_time += latency
-            busy = True
-            heapq.heappush(heap, (now + latency, next(sequence), _STEP_DONE, batch))
-            return True
 
         while heap:
             now, _, kind, payload = heapq.heappop(heap)
             if kind == _ARRIVAL:
-                batcher.enqueue(payload)
+                engine.enqueue(payload)
                 # Drain every arrival with this exact timestamp before
                 # scheduling, so simultaneous requests (offline batches,
                 # burst heads) can share the iteration they trigger.
                 while heap and heap[0][0] == now and heap[0][2] == _ARRIVAL:
-                    batcher.enqueue(heapq.heappop(heap)[3])
-                if not busy:
+                    engine.enqueue(heapq.heappop(heap)[3])
+                if not engine.busy:
                     start_iteration(now)
                 continue
             assert isinstance(payload, Batch)
-            for state in batcher.complete_step(payload, now):
+            for state in engine.complete_iteration(payload, now):
                 records.append(
                     RequestRecord(
                         spec=state.spec,
@@ -157,16 +145,15 @@ class ServingSimulator:
                         completion_time=state.completion_time,
                     )
                 )
-            busy = False
             start_iteration(now)
 
-        assert not batcher.has_work(), "simulation ended with unfinished requests"
+        assert not engine.has_work(), "simulation ended with unfinished requests"
         return ServingResult(
             trace_name=trace.name,
             policy=self.latency_model.policy,
             records=tuple(records),
-            busy_time=busy_time,
-            num_iterations=iterations,
+            busy_time=engine.busy_time,
+            num_iterations=engine.iterations,
             compiled_shapes=tuple(self.latency_model.compiled_shapes()),
             slo=slo,
         )

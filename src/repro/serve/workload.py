@@ -32,6 +32,9 @@ TRACE_SCHEMA_VERSION = 1
 LLM = "llm"
 DIFFUSION = "diffusion"
 
+#: Tenant requests belong to unless a trace says otherwise.
+DEFAULT_TENANT = "default"
+
 
 @dataclass(frozen=True)
 class RequestSpec:
@@ -47,6 +50,10 @@ class RequestSpec:
             produced by the prefill (LLM requests; 0 for diffusion).
         denoise_steps: Denoising steps to run (diffusion requests; 0 for
             LLMs).
+        tenant: The tenant (customer / traffic class) the request belongs
+            to.  Tenants never share a batch, can carry their own SLOs and
+            admission quotas, and are the sticky key session-affinity
+            routing hashes on.
     """
 
     request_id: int
@@ -55,10 +62,13 @@ class RequestSpec:
     prefill_tokens: int = 0
     decode_tokens: int = 0
     denoise_steps: int = 0
+    tenant: str = DEFAULT_TENANT
 
     def __post_init__(self) -> None:
         if self.arrival_time < 0:
             raise ConfigurationError("arrival_time must be non-negative")
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ConfigurationError("tenant must be a non-empty string")
         if self.denoise_steps < 0:
             raise ConfigurationError("denoise_steps must be non-negative")
         if self.denoise_steps > 0:
@@ -94,12 +104,15 @@ class RequestShape:
         decode_tokens: Inclusive ``(lo, hi)`` range of output lengths.
         denoise_steps: Fixed denoising step count; a positive value makes
             this a diffusion shape and the token ranges are ignored.
+        tenant: Tenant label stamped onto every sampled request, so a
+            weighted shape mixture doubles as a multi-tenant traffic mix.
     """
 
     model: str = "tiny-llm"
     prefill_tokens: tuple[int, int] = (64, 256)
     decode_tokens: tuple[int, int] = (16, 128)
     denoise_steps: int = 0
+    tenant: str = DEFAULT_TENANT
 
     def __post_init__(self) -> None:
         # A negative step count is not "an LLM shape": it would pass the
@@ -118,7 +131,11 @@ class RequestShape:
         """Draw one concrete request at ``arrival_time``."""
         if self.denoise_steps > 0:
             return RequestSpec(
-                request_id, arrival_time, self.model, denoise_steps=self.denoise_steps
+                request_id,
+                arrival_time,
+                self.model,
+                denoise_steps=self.denoise_steps,
+                tenant=self.tenant,
             )
         return RequestSpec(
             request_id,
@@ -126,6 +143,7 @@ class RequestShape:
             self.model,
             prefill_tokens=rng.randint(*self.prefill_tokens),
             decode_tokens=rng.randint(*self.decode_tokens),
+            tenant=self.tenant,
         )
 
 
@@ -197,9 +215,24 @@ def save_trace(trace: ArrivalTrace, path: str) -> str:
 
 
 def replay_trace(path: str) -> ArrivalTrace:
-    """Load a trace saved by :func:`save_trace` (or exported externally)."""
-    with open(path, encoding="utf-8") as handle:
-        data = json.load(handle)
+    """Load a trace saved by :func:`save_trace` (or exported externally).
+
+    Missing and unreadable files, malformed JSON, and structurally wrong
+    documents all raise :class:`ConfigurationError` — replay callers get one
+    exception type for "this trace cannot be served", mirroring how the
+    artifact store treats corrupt cache entries.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        raise ConfigurationError(f"trace file {path!r} does not exist") from None
+    except OSError as error:
+        raise ConfigurationError(f"cannot read trace file {path!r}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(
+            f"trace file {path!r} is not valid JSON: {error}"
+        ) from None
     if not isinstance(data, dict) or "requests" not in data:
         raise ConfigurationError(f"{path} is not an arrival-trace file")
     return ArrivalTrace.from_dict(data)

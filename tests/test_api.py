@@ -130,6 +130,17 @@ def test_session_result_cache_hits_skip_recomputation(small_system):
     assert session.stats.profile_builds == 1
 
 
+def test_session_cached_peeks_without_compiling(small_system):
+    session = Session()
+    assert session.cached(TINY, small_system, "basic") is None
+    assert session.stats.compiles == 0  # the peek never triggers work
+    artifact = session.compile(TINY, small_system, "basic")
+    assert session.cached(TINY, small_system, "basic") is artifact
+    assert session.stats.compiles == 1
+    with pytest.raises(ConfigurationError, match="CompileRequest"):
+        session.cached(TINY)
+
+
 def test_session_shares_profiles_across_policies(small_system):
     session = Session()
     requests = [CompileRequest(TINY, small_system, policy) for policy in POLICIES]

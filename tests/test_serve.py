@@ -126,6 +126,26 @@ def test_replay_rejects_wrong_schema(tmp_path):
         replay_trace(str(path))
 
 
+def test_replay_missing_file_is_configuration_error(tmp_path):
+    with pytest.raises(ConfigurationError, match="does not exist"):
+        replay_trace(str(tmp_path / "nope.json"))
+
+
+def test_replay_corrupt_json_is_configuration_error(tmp_path):
+    path = tmp_path / "corrupt.json"
+    path.write_text('{"schema_version": 1, "name": "x", "requests": [')
+    with pytest.raises(ConfigurationError, match="not valid JSON"):
+        replay_trace(str(path))
+
+
+def test_replay_preserves_tenant_and_defaults_old_traces(tmp_path):
+    trace = poisson_trace(
+        40.0, 6, seed=5, shapes=RequestShape(tenant="acme"), name="tenants"
+    )
+    path = save_trace(trace, str(tmp_path / "trace.json"))
+    assert {r.tenant for r in replay_trace(path)} == {"acme"}
+
+
 def test_generator_argument_validation():
     with pytest.raises(ConfigurationError):
         poisson_trace(0.0, 4)
@@ -229,17 +249,17 @@ def test_batcher_admission_cap_and_group_rotation():
     first = batcher.form_batch(0.0)
     # FCFS: two tiny-llm requests admitted (cap 2), third waits; groups
     # rotate, so the second batch serves the DiT group.
-    assert first.group == ("tiny-llm", "llm")
+    assert first.group == ("default", "tiny-llm", "llm")
     assert [s.spec.request_id for s in first.requests] == [0, 1]
     assert batcher.waiting == 1
     completed = batcher.complete_step(first, 1.0)
     assert {s.spec.request_id for s in completed} == {0, 1}
     second = batcher.form_batch(1.0)
-    assert second.group == ("tiny-dit", "diffusion")
+    assert second.group == ("default", "tiny-dit", "diffusion")
     batcher.complete_step(second, 2.0)
     third = batcher.form_batch(2.0)
     # The freed slots admit the waiting request on the next llm turn.
-    assert third.group == ("tiny-llm", "llm")
+    assert third.group == ("default", "tiny-llm", "llm")
     assert {s.spec.request_id for s in third.requests} == {2}
 
 
@@ -272,12 +292,12 @@ def test_started_time_marks_first_scheduled_iteration_not_admission():
     batcher.enqueue(llm_state)
     batcher.enqueue(dit_state)
     first = batcher.form_batch(0.0)
-    assert first.group == ("tiny-llm", "llm")
+    assert first.group == ("default", "tiny-llm", "llm")
     assert llm_state.started_time == 0.0
     assert dit_state.started_time is None  # admitted, but not yet scheduled
     batcher.complete_step(first, 1.5)
     second = batcher.form_batch(1.5)
-    assert second.group == ("tiny-dit", "diffusion")
+    assert second.group == ("default", "tiny-dit", "diffusion")
     assert dit_state.started_time == 1.5
 
 
