@@ -100,18 +100,26 @@ from repro.compiler import (
 )
 from repro.cluster import (
     AutoscalerConfig,
+    AvailabilityMetrics,
     ClusterResult,
     ClusterScenario,
     ClusterSimulator,
+    DegradationPolicy,
     DisaggregationConfig,
+    FaultEvent,
+    FaultSchedule,
+    RetryPolicy,
     RouterPolicy,
     TenantSpec,
     available_routers,
+    random_faults,
     register_router,
+    replay_fault_schedule,
+    save_fault_schedule,
     simulate_cluster,
     simulate_cluster_scenario,
 )
-from repro.errors import ElkError
+from repro.errors import CompileFailedError, ElkError
 from repro.ir import Operator, OperatorGraph, TensorSpec
 from repro.ir.models import available_models, build_model
 from repro.scheduler import ElkOptions, ElkScheduler, ExecutionPlan
@@ -202,14 +210,23 @@ __all__ = [
     "simulate_scenario",
     "simulate_serving",
     "AutoscalerConfig",
+    "AvailabilityMetrics",
     "ClusterResult",
     "ClusterScenario",
     "ClusterSimulator",
+    "CompileFailedError",
+    "DegradationPolicy",
     "DisaggregationConfig",
+    "FaultEvent",
+    "FaultSchedule",
+    "RetryPolicy",
     "RouterPolicy",
     "TenantSpec",
     "available_routers",
+    "random_faults",
     "register_router",
+    "replay_fault_schedule",
+    "save_fault_schedule",
     "simulate_cluster",
     "simulate_cluster_scenario",
     "ChipSimulator",

@@ -30,7 +30,12 @@ import dataclasses
 import pickle
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as PoolTimeout
 from dataclasses import dataclass, replace
 from typing import Callable, Hashable, Iterable, Sequence
 
@@ -45,7 +50,7 @@ from repro.compiler.frontend import (
 )
 from repro.compiler.pipeline import ModelCompiler
 from repro.cost.model import AnalyticCostModel, CostModel
-from repro.errors import ConfigurationError
+from repro.errors import CompileFailedError, ConfigurationError
 from repro.partition.enumerate import EnumerationLimits
 from repro.scheduler.elk import ElkOptions
 from repro.scheduler.profiles import OperatorProfile, build_operator_profiles
@@ -227,6 +232,14 @@ class Session:
             directory path, or ``None`` (in-memory caching only).
         backend: Default :meth:`compile_many` backend, ``"thread"`` or
             ``"process"``.
+        compile_timeout: Seconds to wait for any single process-backend
+            compile before treating the worker as hung (``None`` = wait
+            forever).  A timed-out request is retried on a fresh pool like
+            a worker death.
+        compile_retries: Extra attempts granted to a process-backend
+            request whose worker died or timed out before a
+            :class:`~repro.errors.CompileFailedError` naming the request
+            is raised (0 = fail on the first transient error).
     """
 
     def __init__(
@@ -238,6 +251,8 @@ class Session:
         max_workers: int | None = None,
         store: ArtifactStore | str | None = None,
         backend: str = "thread",
+        compile_timeout: float | None = None,
+        compile_retries: int = 1,
     ) -> None:
         self.elk_options = elk_options or ElkOptions()
         if enumeration is not None:
@@ -249,6 +264,12 @@ class Session:
             store = ArtifactStore(store)
         self.store = store
         self.backend = _check_backend(backend)
+        if compile_timeout is not None and compile_timeout <= 0:
+            raise ConfigurationError("compile_timeout must be positive (or None)")
+        if compile_retries < 0:
+            raise ConfigurationError("compile_retries must be >= 0")
+        self.compile_timeout = compile_timeout
+        self.compile_retries = compile_retries
         self.stats = SessionStats()
         self._lock = threading.Lock()
         self._frontends: dict[Hashable, FrontendResult] = {}
@@ -536,7 +557,17 @@ class Session:
     def _compile_in_processes(
         self, pending: dict[Hashable, CompileRequest], workers: int
     ) -> dict[Hashable, CompileArtifact]:
-        """Fan ``pending`` across a process pool; merge results and stats."""
+        """Fan ``pending`` across a process pool; merge results and stats.
+
+        Worker death (``BrokenProcessPool``) and per-request timeouts are
+        *transient* failures: the poisoned executor is replaced and the
+        affected requests retry on the fresh pool, up to
+        ``compile_retries`` extra attempts each, after which a
+        :class:`~repro.errors.CompileFailedError` naming the offending
+        request is raised — never a raw ``concurrent.futures`` traceback.
+        Real compile errors raised *inside* a healthy worker (e.g. a
+        :class:`ConfigurationError`) propagate unchanged and unretried.
+        """
         try:
             pickle.dumps(self.cost_model_factory)
         except Exception as error:
@@ -546,31 +577,71 @@ class Session:
                 f"cannot ship {self.cost_model_factory!r} to workers"
             ) from error
         store_root = self.store.root if self.store is not None else None
-        payloads = [
-            (request, self.elk_options, self.static_options,
-             self.cost_model_factory, store_root)
-            for request in pending.values()
-        ]
+
+        def payload_for(request: CompileRequest) -> tuple:
+            return (
+                request,
+                self.elk_options,
+                self.static_options,
+                self.cost_model_factory,
+                store_root,
+            )
+
         compiled: dict[Hashable, CompileArtifact] = {}
-        with ProcessPoolExecutor(max_workers=max(1, workers)) as pool:
-            for key, (data, child_stats) in zip(
-                pending, pool.map(_compile_in_subprocess, payloads)
-            ):
-                artifact = CompileArtifact.from_dict(data)
-                with self._lock:
-                    winner = self._results.setdefault(key, artifact)
-                    if winner is artifact:
-                        # Attribute the child's work to this session: a real
-                        # compile (persisted by the child when a store is
-                        # wired) or the child's own store hit.
-                        if child_stats.get("store_hits"):
-                            self.stats.store_hits += 1
-                        else:
-                            self.stats.compiles += 1
-                            self.stats.store_puts += child_stats.get(
-                                "store_puts", 0
-                            )
-                compiled[key] = winner
+        remaining = dict(pending)
+        attempts = dict.fromkeys(pending, 0)
+        pool = ProcessPoolExecutor(max_workers=max(1, workers))
+        try:
+            while remaining:
+                futures = {
+                    key: pool.submit(_compile_in_subprocess, payload_for(request))
+                    for key, request in remaining.items()
+                }
+                retry: dict[Hashable, CompileRequest] = {}
+                for key, future in futures.items():
+                    request = remaining[key]
+                    try:
+                        data, child_stats = future.result(
+                            timeout=self.compile_timeout
+                        )
+                    except (BrokenExecutor, PoolTimeout, TimeoutError) as error:
+                        attempts[key] += 1
+                        if attempts[key] > self.compile_retries:
+                            workload = request.workload_spec
+                            raise CompileFailedError(
+                                f"process-backend compile of "
+                                f"{workload.model!r} (policy "
+                                f"{request.policy!r}) failed after "
+                                f"{attempts[key]} attempt(s): "
+                                f"{type(error).__name__}: {error or 'worker died'}",
+                                request=request,
+                            ) from error
+                        retry[key] = request
+                        continue
+                    artifact = CompileArtifact.from_dict(data)
+                    with self._lock:
+                        winner = self._results.setdefault(key, artifact)
+                        if winner is artifact:
+                            # Attribute the child's work to this session: a
+                            # real compile (persisted by the child when a
+                            # store is wired) or the child's own store hit.
+                            if child_stats.get("store_hits"):
+                                self.stats.store_hits += 1
+                            else:
+                                self.stats.compiles += 1
+                                self.stats.store_puts += child_stats.get(
+                                    "store_puts", 0
+                                )
+                    compiled[key] = winner
+                if retry:
+                    # A dead (or hung) worker poisons the whole executor;
+                    # survivors' futures fail alongside the culprit's.
+                    # Replace the pool and retry everything unresolved.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=max(1, workers))
+                remaining = retry
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
         return compiled
 
     def sweep(

@@ -146,7 +146,20 @@ class ArtifactStore:
             with self._lock:
                 self.stats.misses += 1
             return None
-        except (ConfigurationError, json.JSONDecodeError, OSError, TypeError):
+        except (
+            ConfigurationError,
+            json.JSONDecodeError,
+            OSError,
+            TypeError,
+            # Truncated or partially-written JSON can still parse — to a
+            # bare string, number, or list — and then explode structurally
+            # (no ``.get``, wrong value types) instead of as a decode
+            # error.  Treat every structural failure as corruption: evict
+            # and let the caller recompile.
+            AttributeError,
+            KeyError,
+            ValueError,  # also covers JSONDecodeError / UnicodeDecodeError
+        ):
             self._evict(path)
             return None
         with self._lock:
@@ -173,6 +186,30 @@ class ArtifactStore:
         with self._lock:
             self.stats.puts += 1
         return path
+
+    def corrupt_entry(self, index: int, keep_bytes: int | None = None) -> bool:
+        """Truncate one on-disk entry in place (fault injection only).
+
+        Deterministically picks the ``index``-th entry (modulo the entry
+        count, in sorted path order) and rewrites it with only its first
+        ``keep_bytes`` bytes (default: half), simulating a torn write from
+        a crashed process.  The next :meth:`get` of that digest detects the
+        damage, evicts the entry (counted in ``StoreStats.evictions``), and
+        the caller recompiles.  Returns ``False`` when the store is empty.
+        """
+        paths = list(self._entry_paths())
+        if not paths:
+            return False
+        path = paths[index % len(paths)]
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+            keep = keep_bytes if keep_bytes is not None else len(data) // 2
+            with open(path, "wb") as handle:
+                handle.write(data[: max(0, keep)])
+        except OSError:
+            return False
+        return True
 
     def _evict(self, path: str) -> None:
         try:

@@ -10,22 +10,43 @@ plans compile once fleet-wide.  It layers on :mod:`repro.serve`:
   and per-tenant SLOs;
 * :mod:`repro.cluster.autoscaler` — queue- and SLO-driven scaling with
   cooldown hysteresis, warm-up delays, and drain-based removal;
+* :mod:`repro.cluster.faults` — seeded fault injection (engine crashes,
+  stragglers, transient compile failures, store corruption) with JSON
+  replay, plus the recovery semantics: retry/backoff policies, graceful
+  degradation by tenant priority, and availability metrics;
 * :mod:`repro.cluster.simulator` — the fleet discrete-event loop, including
-  prefill/decode disaggregation with a hand-off queue;
+  prefill/decode disaggregation with a hand-off queue and crash recovery
+  with balanced request accounting;
 * :mod:`repro.cluster.scenarios` — named fleet studies registered alongside
-  the single-engine serving scenarios.
+  the single-engine serving scenarios, including two chaos scenarios.
 
-Everything stays a pure function of the seeded trace and the configuration:
-fleet metrics are bit-reproducible.
+Everything stays a pure function of the seeded trace, the fault schedule,
+and the configuration: fleet metrics are bit-reproducible.
 """
 
 from repro.cluster.autoscaler import (
     SCALE_ADD,
+    SCALE_CRASH,
     SCALE_DRAIN,
     SCALE_REMOVE,
     Autoscaler,
     AutoscalerConfig,
     ScaleEvent,
+)
+from repro.cluster.faults import (
+    FAULT_COMPILE_FAILURE,
+    FAULT_ENGINE_CRASH,
+    FAULT_ENGINE_SLOWDOWN,
+    FAULT_KINDS,
+    FAULT_STORE_CORRUPTION,
+    AvailabilityMetrics,
+    DegradationPolicy,
+    FaultEvent,
+    FaultSchedule,
+    RetryPolicy,
+    random_faults,
+    replay_fault_schedule,
+    save_fault_schedule,
 )
 from repro.cluster.router import (
     EngineView,
@@ -54,20 +75,31 @@ from repro.cluster.tenancy import AdmissionController, TenantSpec, as_tenant_map
 
 __all__ = [
     "SCALE_ADD",
+    "SCALE_CRASH",
     "SCALE_DRAIN",
     "SCALE_REMOVE",
     "ROLE_COLOCATED",
     "ROLE_DECODE",
     "ROLE_PREFILL",
+    "FAULT_COMPILE_FAILURE",
+    "FAULT_ENGINE_CRASH",
+    "FAULT_ENGINE_SLOWDOWN",
+    "FAULT_KINDS",
+    "FAULT_STORE_CORRUPTION",
     "AdmissionController",
     "Autoscaler",
     "AutoscalerConfig",
+    "AvailabilityMetrics",
     "ClusterResult",
     "ClusterScenario",
     "ClusterSimulator",
+    "DegradationPolicy",
     "DisaggregationConfig",
     "EngineRecord",
     "EngineView",
+    "FaultEvent",
+    "FaultSchedule",
+    "RetryPolicy",
     "LeastLoadedRouter",
     "RoundRobinRouter",
     "RouterPolicy",
@@ -77,8 +109,11 @@ __all__ = [
     "as_tenant_map",
     "available_routers",
     "get_router",
+    "random_faults",
     "register_router",
+    "replay_fault_schedule",
     "router_descriptions",
+    "save_fault_schedule",
     "simulate_cluster",
     "simulate_cluster_scenario",
     "unregister_router",

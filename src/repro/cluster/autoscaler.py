@@ -20,10 +20,14 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 
-#: Scale-event actions recorded by the cluster simulator.
+#: Scale-event actions recorded by the cluster simulator.  ``SCALE_CRASH``
+#: is not an autoscaler decision — it records an injected engine crash in
+#: the same fleet-lifecycle event stream, so one timeline tells the whole
+#: capacity story.
 SCALE_ADD = "add"
 SCALE_DRAIN = "drain"
 SCALE_REMOVE = "remove"
+SCALE_CRASH = "crash"
 
 
 @dataclass(frozen=True)
@@ -135,7 +139,7 @@ class ScaleEvent:
 
     Attributes:
         time: Simulation time of the action.
-        action: ``"add"``, ``"drain"``, or ``"remove"``.
+        action: ``"add"``, ``"drain"``, ``"remove"``, or ``"crash"``.
         engine_id: The engine acted on.
         fleet_size: Active (non-draining) engines right after the action.
         reason: Human-readable trigger (queue depth / SLO attainment).

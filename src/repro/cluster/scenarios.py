@@ -18,7 +18,13 @@ Built-ins:
 * ``cluster-autoscale`` — bursty chat against a 1..4-engine autoscaled
   fleet;
 * ``cluster-disaggregated`` — chat on dedicated prefill/decode pools with
-  a hand-off queue, for comparison against the colocated baseline.
+  a hand-off queue, for comparison against the colocated baseline;
+* ``cluster-chaos-crashes`` — a crash-heavy chat fleet (three engine
+  crashes, a straggler window, transient compile faults) recovering under
+  retry/backoff while the autoscaler replaces lost capacity;
+* ``cluster-chaos-degraded`` — an overloaded two-tier tenant mix losing an
+  engine and straggling, with graceful degradation shedding batch traffic
+  before the interactive tier's SLOs collapse.
 """
 
 from __future__ import annotations
@@ -28,6 +34,15 @@ from typing import ClassVar
 from repro.arch.chip import SystemConfig
 from repro.arch.presets import scaled_system
 from repro.cluster.autoscaler import AutoscalerConfig
+from repro.cluster.faults import (
+    FAULT_COMPILE_FAILURE,
+    FAULT_ENGINE_CRASH,
+    FAULT_ENGINE_SLOWDOWN,
+    DegradationPolicy,
+    FaultEvent,
+    FaultSchedule,
+    RetryPolicy,
+)
 from repro.cluster.simulator import (
     ClusterResult,
     ClusterSimulator,
@@ -55,6 +70,12 @@ class ClusterScenario(ServingScenario):
         autoscaler: Autoscaler configuration (``None`` = fixed fleet).
         tenants: Tenant quota/SLO specs enforced at admission.
         disaggregation: Prefill/decode pool split (``None`` = colocated).
+        faults: Fault schedule injected during the run (``None`` = happy
+            path).
+        retry_policy: Retry/backoff semantics for crash-lost work (``None``
+            = the defaults).
+        degradation: Load-shedding policy under overload (``None`` = never
+            shed).
     """
 
     num_engines: ClassVar[int] = 2
@@ -62,6 +83,9 @@ class ClusterScenario(ServingScenario):
     autoscaler: ClassVar[AutoscalerConfig | None] = None
     tenants: ClassVar[tuple[TenantSpec, ...]] = ()
     disaggregation: ClassVar[DisaggregationConfig | None] = None
+    faults: ClassVar[FaultSchedule | None] = None
+    retry_policy: ClassVar[RetryPolicy | None] = None
+    degradation: ClassVar[DegradationPolicy | None] = None
 
 
 # --------------------------------------------------------------------------- #
@@ -176,6 +200,108 @@ class ClusterDisaggregated(ClusterScenario):
         )
 
 
+@register_scenario("cluster-chaos-crashes")
+class ClusterChaosCrashes(ClusterScenario):
+    description = (
+        "crash-heavy chat fleet: three engine crashes, a straggler window, "
+        "and transient compile faults, recovering under retry/backoff while "
+        "the autoscaler replaces lost capacity"
+    )
+    slo = SLOSpec(ttft=5e-3, e2e=30e-3)
+    nominal_rate = 400.0
+    num_engines = 4
+    router = "least-loaded"
+    autoscaler = AutoscalerConfig(
+        min_engines=2,
+        max_engines=6,
+        scale_up_queue_depth=3.0,
+        scale_down_queue_depth=0.25,
+        cooldown=0.05,
+        warmup_delay=0.02,
+    )
+    # Deterministic schedule (not a seeded generator) so the acceptance
+    # invariant — at least one applied engine crash — holds at every trace
+    # length and seed.  Times sit inside the serving window of the default
+    # 64-request trace.
+    faults = FaultSchedule(
+        "chaos-crashes",
+        (
+            FaultEvent(0.015, FAULT_ENGINE_CRASH, target=1),
+            FaultEvent(
+                0.030, FAULT_ENGINE_SLOWDOWN, target=0, duration=0.04, factor=4.0
+            ),
+            FaultEvent(0.045, FAULT_COMPILE_FAILURE, count=2),
+            FaultEvent(0.060, FAULT_ENGINE_CRASH, target=2),
+            FaultEvent(0.090, FAULT_ENGINE_CRASH, target=0),
+        ),
+    )
+    retry_policy = RetryPolicy(
+        max_attempts=3, base_backoff=0.005, max_backoff=0.05, jitter=0.1
+    )
+
+    def trace(self, num_requests=64, seed=0, rate_scale=1.0):
+        return poisson_trace(
+            self.nominal_rate * rate_scale,
+            num_requests,
+            seed=seed,
+            shapes=_CHAT_SHAPE,
+            name=f"{self.name}@x{rate_scale:g}",
+        )
+
+
+@register_scenario("cluster-chaos-degraded")
+class ClusterChaosDegraded(ClusterScenario):
+    description = (
+        "overloaded two-tier tenant mix losing an engine and straggling; "
+        "graceful degradation sheds batch traffic before interactive SLOs "
+        "collapse"
+    )
+    slo = SLOSpec(ttft=5e-3)
+    nominal_rate = 700.0
+    num_engines = 2
+    router = "least-loaded"
+    tenants = (
+        TenantSpec("interactive", slo=SLOSpec(ttft=3e-3)),
+        TenantSpec("batch", slo=SLOSpec()),
+    )
+    degradation = DegradationPolicy(
+        queue_depth_per_engine=4.0,
+        priorities=(("batch", 0), ("interactive", 2)),
+    )
+    faults = FaultSchedule(
+        "chaos-degraded",
+        (
+            FaultEvent(
+                0.010, FAULT_ENGINE_SLOWDOWN, target=0, duration=0.08, factor=6.0
+            ),
+            FaultEvent(0.020, FAULT_ENGINE_CRASH, target=1),
+            FaultEvent(
+                0.035, FAULT_ENGINE_SLOWDOWN, target=0, duration=0.05, factor=3.0
+            ),
+        ),
+    )
+    retry_policy = RetryPolicy(max_attempts=2, base_backoff=0.004)
+
+    def trace(self, num_requests=64, seed=0, rate_scale=1.0):
+        shapes = tuple(
+            RequestShape(
+                model="tiny-llm",
+                prefill_tokens=(64, 256),
+                decode_tokens=(8, 48),
+                tenant=tenant,
+            )
+            for tenant in ("interactive", "batch")
+        )
+        return poisson_trace(
+            self.nominal_rate * rate_scale,
+            num_requests,
+            seed=seed,
+            shapes=shapes,
+            weights=(2.0, 1.0),
+            name=f"{self.name}@x{rate_scale:g}",
+        )
+
+
 # --------------------------------------------------------------------------- #
 # One-call driver.
 # --------------------------------------------------------------------------- #
@@ -198,6 +324,9 @@ def simulate_cluster_scenario(
     autoscaler: AutoscalerConfig | None = _UNSET,
     tenants: tuple[TenantSpec, ...] | None = _UNSET,
     disaggregation: DisaggregationConfig | None = _UNSET,
+    faults: FaultSchedule | None = _UNSET,
+    retry_policy: RetryPolicy | None = _UNSET,
+    degradation: DegradationPolicy | None = _UNSET,
     prewarm: bool = False,
 ) -> ClusterResult:
     """Run one registered cluster scenario end to end on a fleet.
@@ -223,8 +352,12 @@ def simulate_cluster_scenario(
         num_layers: Layer-count override for the compiled step workloads.
         use_simulator: Time step plans with the event-driven simulator
             (otherwise the analytic timeline).
-        num_engines / router / autoscaler / tenants / disaggregation:
-            Fleet-configuration overrides (default: the scenario's own).
+        num_engines / router / autoscaler / tenants / disaggregation /
+            faults / retry_policy / degradation:
+            Fleet-configuration overrides (default: the scenario's own);
+            e.g. ``faults=None`` runs a chaos scenario's trace on the happy
+            path, and ``faults=random_faults(...)`` injects a seeded
+            schedule into any scenario.
         prewarm: Compile the full bucket grid up front through one
             ``compile_many`` fan-out.
     """
@@ -254,6 +387,11 @@ def simulate_cluster_scenario(
         disaggregation=(
             defaults.disaggregation if disaggregation is _UNSET else disaggregation
         ),
+        faults=defaults.faults if faults is _UNSET else faults,
+        retry_policy=(
+            defaults.retry_policy if retry_policy is _UNSET else retry_policy
+        ),
+        degradation=defaults.degradation if degradation is _UNSET else degradation,
         prewarm=prewarm,
     )
     trace = scenario.trace(num_requests=num_requests, seed=seed, rate_scale=rate_scale)

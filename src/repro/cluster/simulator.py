@@ -16,11 +16,30 @@ with four event kinds:
 * **engine ready** — a scaled-up engine finishes warming (compiling /
   loading its bucket plans) and starts taking traffic;
 * **hand-off** — a prefilled request reaches the decode pool (after the
-  configured hand-off delay) and is routed like a fresh arrival.
+  configured hand-off delay) and is routed like a fresh arrival;
+* **fault** — an injected :class:`~repro.cluster.faults.FaultEvent` fires:
+  an engine crash (queued requests re-route immediately; admitted and
+  in-flight requests lose their progress and retry with backoff under the
+  :class:`~repro.cluster.faults.RetryPolicy`, or are recorded as *failed*
+  when the budget is gone), a slowdown window (subsequent iterations of the
+  straggler stretch by the fault's factor), a transient compile failure
+  (armed on the shared latency model, which serves the closest
+  already-compiled bucket plan on the next cache miss), or artifact-store
+  corruption (a cache entry is truncated on disk, exercising the store's
+  evict-and-recompile path);
+* **retry** — a request whose work a crash destroyed returns from its
+  backoff delay and is routed like a fresh arrival.
 
-The autoscaler is evaluated after every arrival batch and step completion.
-Everything is a pure function of the seeded trace and the configuration,
-so cluster metrics are bit-reproducible.
+The autoscaler is evaluated after every arrival batch, step completion, and
+fault — a crashed engine is capacity pressure like any other, so the fleet
+replaces it subject to cooldown.  Request accounting always balances:
+``completed + rejected + failed == arrivals``, with shed and failed
+requests recorded, never silently dropped.  Everything remains a pure
+function of the seeded trace, the fault schedule, and the configuration,
+so cluster metrics — including :class:`AvailabilityMetrics` — are
+bit-reproducible (give each run a fresh :class:`StepLatencyModel` when the
+schedule injects compile failures, since fallbacks depend on what has
+compiled so far).
 """
 
 from __future__ import annotations
@@ -31,11 +50,21 @@ from dataclasses import dataclass, field
 
 from repro.cluster.autoscaler import (
     SCALE_ADD,
+    SCALE_CRASH,
     SCALE_DRAIN,
     SCALE_REMOVE,
     Autoscaler,
     AutoscalerConfig,
     ScaleEvent,
+)
+from repro.cluster.faults import (
+    FAULT_COMPILE_FAILURE,
+    FAULT_ENGINE_CRASH,
+    FAULT_ENGINE_SLOWDOWN,
+    AvailabilityMetrics,
+    DegradationPolicy,
+    FaultSchedule,
+    RetryPolicy,
 )
 from repro.cluster.router import EngineView, RouterPolicy, get_router
 from repro.cluster.tenancy import AdmissionController, TenantSpec, as_tenant_map
@@ -58,6 +87,8 @@ _ARRIVAL = 0
 _STEP_DONE = 1
 _ENGINE_READY = 2
 _HANDOFF = 3
+_FAULT = 4
+_RETRY = 5
 
 #: Engine roles within a fleet.
 ROLE_COLOCATED = "colocated"
@@ -132,13 +163,18 @@ class ClusterResult(ServingResult):
     Extends :class:`~repro.serve.simulator.ServingResult` (whose
     ``busy_time`` / ``num_iterations`` aggregate the whole fleet) with the
     cluster-level story: which router ran, what each engine did, when the
-    autoscaler acted, and what admission control rejected.
+    autoscaler acted, what admission control (or load shedding) rejected,
+    what faults destroyed, and how the fleet recovered.  Accounting always
+    balances: ``completed + rejected + failed == num_arrivals``.
     """
 
     router: str = ""
     engines: tuple[EngineRecord, ...] = ()
     scale_events: tuple[ScaleEvent, ...] = ()
     rejected: tuple[RequestSpec, ...] = ()
+    failed: tuple[RequestSpec, ...] = ()
+    num_arrivals: int = 0
+    availability: AvailabilityMetrics = field(default_factory=AvailabilityMetrics)
     tenants: tuple[TenantSpec, ...] = field(default=(), compare=False)
 
     @property
@@ -167,6 +203,23 @@ class ClusterResult(ServingResult):
             counts[spec.tenant] = counts.get(spec.tenant, 0) + 1
         return counts
 
+    def accounting(self) -> dict[str, int]:
+        """Where every arrival ended up: completed, rejected, or failed."""
+        return {
+            "arrivals": self.num_arrivals,
+            "completed": len(self.records),
+            "rejected": len(self.rejected),
+            "failed": len(self.failed),
+        }
+
+    @property
+    def accounting_balanced(self) -> bool:
+        """Whether no request was silently dropped (the chaos invariant)."""
+        return (
+            len(self.records) + len(self.rejected) + len(self.failed)
+            == self.num_arrivals
+        )
+
     def tenant_metrics(self) -> dict[str, ServingMetrics]:
         """Per-tenant :class:`ServingMetrics`, under each tenant's own SLO.
 
@@ -194,6 +247,9 @@ class _Engine:
     ready_time: float
     draining: bool = False
     removed_time: float | None = None
+    crashed: bool = False
+    slow_until: float = 0.0
+    slow_factor: float = 1.0
 
     @property
     def active(self) -> bool:
@@ -228,6 +284,13 @@ class ClusterSimulator:
         prewarm: Compile the full bucket grid for every (model, kind)
             group in the trace before serving, via one
             :meth:`Session.compile_many` fan-out.
+        faults: Fault schedule to inject during the run (``None`` = the
+            happy path).  Crashes never remove the last engine able to
+            serve a role — such events are skipped.
+        retry_policy: Retry/backoff semantics for work a crash destroyed
+            (defaults to :class:`RetryPolicy`'s defaults).
+        degradation: Graceful-degradation policy shedding arrivals by
+            tenant priority under overload (``None`` = never shed).
     """
 
     def __init__(
@@ -241,6 +304,9 @@ class ClusterSimulator:
         tenants=None,
         disaggregation: DisaggregationConfig | None = None,
         prewarm: bool = False,
+        faults: FaultSchedule | None = None,
+        retry_policy: RetryPolicy | None = None,
+        degradation: DegradationPolicy | None = None,
     ) -> None:
         if num_engines < 1:
             raise ConfigurationError("num_engines must be >= 1")
@@ -260,6 +326,22 @@ class ClusterSimulator:
         self.tenants = as_tenant_map(tenants)
         self.disaggregation = disaggregation
         self.prewarm = prewarm
+        if faults is not None and not isinstance(faults, FaultSchedule):
+            raise ConfigurationError(
+                f"faults must be a FaultSchedule or None, got {faults!r}"
+            )
+        self.faults = faults
+        if retry_policy is not None and not isinstance(retry_policy, RetryPolicy):
+            raise ConfigurationError(
+                f"retry_policy must be a RetryPolicy or None, got {retry_policy!r}"
+            )
+        self.retry_policy = retry_policy or RetryPolicy()
+        if degradation is not None and not isinstance(degradation, DegradationPolicy):
+            raise ConfigurationError(
+                f"degradation must be a DegradationPolicy or None, "
+                f"got {degradation!r}"
+            )
+        self.degradation = degradation
 
     # ----------------------------------------------------------------- running
     def run(self, trace: ArrivalTrace, slo: SLOSpec | None = None) -> ClusterResult:
@@ -282,8 +364,26 @@ class ClusterSimulator:
         )
         records: list[RequestRecord] = []
         rejected: list[RequestSpec] = []
+        failed: list[RequestSpec] = []
         scale_events: list[ScaleEvent] = []
         end_time = 0.0
+        policy = self.retry_policy
+        avail = {
+            "crashes": 0,
+            "slowdowns": 0,
+            "compile_faults": 0,
+            "store_corruptions": 0,
+            "retries": 0,
+            "redispatches": 0,
+            "shed": 0,
+        }
+        # Per applied crash: (crash time, ids of retried requests still
+        # owed a completion or failure).  When a set empties, the crash is
+        # recovered and its recovery time is recorded.
+        crash_watches: list[tuple[float, set[int]]] = []
+        recovery_times: list[float] = []
+        budget_left = policy.retry_budget  # None = unbounded
+        fallback_base = self.latency_model.stats.get("fallbacks", 0)
 
         def add_engine(role: str, added: float, ready: float) -> _Engine:
             engine_id = next(engine_ids)
@@ -315,6 +415,8 @@ class ClusterSimulator:
             heapq.heappush(
                 heap, (state.spec.arrival_time, next(sequence), _ARRIVAL, state)
             )
+        for fault in self.faults or ():
+            heapq.heappush(heap, (fault.time, next(sequence), _FAULT, fault))
 
         def active_fleet() -> list[_Engine]:
             return [e for e in engines.values() if e.active]
@@ -341,6 +443,12 @@ class ClusterSimulator:
                 return
             if engine.ready_time > now:
                 return
+            # A straggler window stretches every iteration *started* inside
+            # it; an iteration already in flight when the fault fires
+            # finishes at its original latency.
+            engine.core.latency_scale = (
+                engine.slow_factor if now < engine.slow_until else 1.0
+            )
             started = engine.core.start_iteration(now)
             if started is not None:
                 batch, latency = started
@@ -397,6 +505,107 @@ class ClusterSimulator:
                 chosen = engines[choice]
             chosen.core.enqueue(state)
             return chosen
+
+        def redispatch(
+            states: list[RequestState], now: float
+        ) -> dict[int, _Engine]:
+            """Re-route requests off a drained or crashed engine.
+
+            The one requeue path both scale-down drains and crashes use:
+            states keep their original arrival times (queue-wait metrics
+            charge from first arrival, with no double-counting) and are
+            routed exactly like fresh arrivals.  Returns the touched
+            engines for the caller to kick.
+            """
+            touched: dict[int, _Engine] = {}
+            for state in states:
+                engine = dispatch(state, now)
+                touched[engine.core.engine_id] = engine
+                avail["redispatches"] += 1
+            return touched
+
+        def note_resolved(state: RequestState, now: float) -> None:
+            """Settle crash-recovery watches when a lost request resolves."""
+            request_id = state.spec.request_id
+            for crash_time, pending in crash_watches:
+                if request_id in pending:
+                    pending.discard(request_id)
+                    if not pending:
+                        recovery_times.append(now - crash_time)
+
+        def fail_request(state: RequestState, now: float) -> None:
+            """Record a request as failed (retry budget exhausted)."""
+            failed.append(state.spec)
+            note_resolved(state, now)
+            if autoscaler is not None:
+                autoscaler.observe(False)  # a failure always misses its SLO
+
+        def apply_crash(fault, now: float) -> None:
+            nonlocal budget_left
+            pool = [e for _, e in sorted(engines.items()) if e.active]
+            # Never kill the last engine able to serve a role — the fleet
+            # (like a real one behind a health-checked load balancer) keeps
+            # a minimum of one replica per role.
+            eligible = [
+                engine
+                for engine in pool
+                if sum(1 for other in pool if other.role == engine.role) > 1
+            ]
+            if not eligible:
+                return
+            victim = eligible[fault.target % len(eligible)]
+            victim.crashed = True
+            victim.removed_time = now
+            avail["crashes"] += 1
+            scale_events.append(
+                ScaleEvent(
+                    time=now,
+                    action=SCALE_CRASH,
+                    engine_id=victim.core.engine_id,
+                    fleet_size=len(active_fleet()),
+                    reason="injected fault",
+                )
+            )
+            # Queued requests lost no work: re-route them immediately, no
+            # retry attempt consumed.
+            touched = redispatch(victim.core.batcher.drain_waiting(), now)
+            # Admitted and in-flight requests lost their progress: retry
+            # from scratch after a backoff, or fail when out of budget.
+            watch: set[int] = set()
+            for state in victim.core.batcher.drain_running():
+                out_of_budget = budget_left is not None and budget_left <= 0
+                if state.retries + 1 >= policy.max_attempts or out_of_budget:
+                    fail_request(state, now)
+                    continue
+                state.retries += 1
+                avail["retries"] += 1
+                if budget_left is not None:
+                    budget_left -= 1
+                delay = policy.backoff_delay(state.retries, state.spec.request_id)
+                heapq.heappush(
+                    heap, (now + delay, next(sequence), _RETRY, state)
+                )
+                watch.add(state.spec.request_id)
+            if watch:
+                crash_watches.append((now, watch))
+            else:
+                recovery_times.append(0.0)  # nothing (left) to re-serve
+            for engine in touched.values():
+                kick(engine, now)
+
+        def apply_slowdown(fault, now: float) -> None:
+            pool = [e for _, e in sorted(engines.items()) if e.active]
+            if not pool:
+                return
+            victim = pool[fault.target % len(pool)]
+            victim.slow_until = max(victim.slow_until, now + fault.duration)
+            victim.slow_factor = fault.factor
+            avail["slowdowns"] += 1
+
+        def apply_corruption(fault) -> None:
+            store = self.latency_model.session.store
+            if store is not None and store.corrupt_entry(fault.target):
+                avail["store_corruptions"] += 1
 
         def autoscale(now: float) -> None:
             if autoscaler is None:
@@ -460,10 +669,11 @@ class ClusterSimulator:
                     reason=reason,
                 )
             )
-            # Queued (unadmitted) requests re-route to the surviving fleet;
-            # admitted ones finish where they run.
-            for state in victim.core.batcher.drain_waiting():
-                kick(dispatch(state, now), now)
+            # Queued (unadmitted) requests re-route to the surviving fleet
+            # through the same requeue path a crash uses; admitted ones
+            # finish where they run.
+            for engine in redispatch(victim.core.batcher.drain_waiting(), now).values():
+                kick(engine, now)
             kick(victim, now)  # finalizes immediately if already empty
 
         def slo_for_record(record: RequestRecord) -> SLOSpec | None:
@@ -471,7 +681,11 @@ class ClusterSimulator:
 
         while heap:
             now, _, kind, payload = heapq.heappop(heap)
-            end_time = now
+            if kind != _FAULT:
+                # Faults alone don't extend the makespan: a crash injected
+                # after the last completion destroys nothing and should not
+                # stretch utilization or goodput denominators.
+                end_time = max(end_time, now)
             if kind == _ARRIVAL:
                 # Drain every arrival with this exact timestamp before
                 # kicking engines, so simultaneous requests (offline
@@ -480,11 +694,29 @@ class ClusterSimulator:
                 batch_states = [payload]
                 while heap and heap[0][0] == now and heap[0][2] == _ARRIVAL:
                     batch_states.append(heapq.heappop(heap)[3])
+                if self.degradation is not None:
+                    ready_now = [
+                        e for e in active_fleet() if e.ready_time <= now
+                    ]
+                    avg_queue = sum(
+                        e.core.queue_depth for e in ready_now
+                    ) / max(1, len(ready_now))
+                else:
+                    avg_queue = 0.0
                 touched: dict[int, _Engine] = {}
                 for state in batch_states:
                     assert isinstance(state, RequestState)
                     if not admission.admit(state.spec.tenant, now):
                         rejected.append(state.spec)
+                        continue
+                    if self.degradation is not None and self.degradation.should_shed(
+                        state.spec.tenant, avg_queue
+                    ):
+                        # Graceful degradation: shed at the front door by
+                        # tenant priority before queues collapse SLOs
+                        # fleet-wide.  Shed arrivals count as rejections.
+                        rejected.append(state.spec)
+                        avail["shed"] += 1
                         continue
                     engine = dispatch(state, now)
                     touched[engine.core.engine_id] = engine
@@ -494,6 +726,11 @@ class ClusterSimulator:
             elif kind == _STEP_DONE:
                 engine_id, batch = payload
                 engine = engines[engine_id]
+                if engine.crashed:
+                    # Stale completion: the crash destroyed this iteration's
+                    # work and already re-dispatched (or failed) its
+                    # requests.
+                    continue
                 for state in engine.core.complete_iteration(batch, now):
                     if state.finished:
                         record = RequestRecord(
@@ -504,6 +741,7 @@ class ClusterSimulator:
                             completion_time=state.completion_time,
                         )
                         records.append(record)
+                        note_resolved(state, now)
                         if autoscaler is not None:
                             record_slo = slo_for_record(record)
                             autoscaler.observe(
@@ -537,6 +775,25 @@ class ClusterSimulator:
                 for engine in touched.values():
                     kick(engine, now)
                 autoscale(now)
+            elif kind == _FAULT:
+                fault = payload
+                if fault.kind == FAULT_ENGINE_CRASH:
+                    apply_crash(fault, now)
+                elif fault.kind == FAULT_ENGINE_SLOWDOWN:
+                    apply_slowdown(fault, now)
+                elif fault.kind == FAULT_COMPILE_FAILURE:
+                    self.latency_model.inject_compile_failures(fault.count)
+                    avail["compile_faults"] += fault.count
+                else:  # FAULT_STORE_CORRUPTION
+                    apply_corruption(fault)
+                autoscale(now)
+            elif kind == _RETRY:
+                # A crash-lost request returns from its backoff delay and
+                # is routed like a fresh arrival (with its progress reset).
+                state = payload
+                avail["redispatches"] += 1
+                kick(dispatch(state, now), now)
+                autoscale(now)
             else:
                 assert kind == _HANDOFF
                 state = payload
@@ -546,6 +803,41 @@ class ClusterSimulator:
             assert not engine.core.has_work(), (
                 "cluster simulation ended with unfinished requests"
             )
+        assert len(records) + len(rejected) + len(failed) == len(trace.requests), (
+            "request accounting does not balance: "
+            f"{len(records)} completed + {len(rejected)} rejected + "
+            f"{len(failed)} failed != {len(trace.requests)} arrivals"
+        )
+
+        # Injected compile failures that never fired (no cache miss came)
+        # must not leak into a later run on the same latency model.
+        self.latency_model.disarm_compile_failures()
+        met_under_faults = 0
+        for record in records:
+            record_slo = admission.slo_for(record.spec.tenant) or slo
+            if record_slo is None or record_slo.met_by(record):
+                met_under_faults += 1
+        accepted = len(records) + len(failed)
+        availability = AvailabilityMetrics(
+            num_crashes=avail["crashes"],
+            num_slowdowns=avail["slowdowns"],
+            num_compile_faults=avail["compile_faults"],
+            num_store_corruptions=avail["store_corruptions"],
+            num_retries=avail["retries"],
+            num_redispatches=avail["redispatches"],
+            num_failed=len(failed),
+            num_shed=avail["shed"],
+            compile_fallbacks=(
+                self.latency_model.stats.get("fallbacks", 0) - fallback_base
+            ),
+            recovery_times=tuple(recovery_times),
+            goodput_under_faults_rps=(
+                met_under_faults / end_time if end_time > 0 else 0.0
+            ),
+            goodput_under_faults_fraction=(
+                met_under_faults / accepted if accepted else 1.0
+            ),
+        )
 
         engine_records = []
         for engine_id, engine in sorted(engines.items()):
@@ -582,6 +874,9 @@ class ClusterSimulator:
             engines=tuple(engine_records),
             scale_events=tuple(scale_events),
             rejected=tuple(rejected),
+            failed=tuple(failed),
+            num_arrivals=len(trace.requests),
+            availability=availability,
             tenants=tuple(self.tenants.values()),
         )
 

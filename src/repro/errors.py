@@ -54,3 +54,17 @@ class CostModelError(ElkError):
 
 class ConfigurationError(ElkError):
     """Invalid user-supplied compiler or experiment options."""
+
+
+class CompileFailedError(ElkError):
+    """A compilation request failed after exhausting its retries.
+
+    Raised by the service layer (e.g. a ``compile_many`` process-pool worker
+    dying, a compile timing out, or an injected transient fault with no
+    fallback) instead of leaking ``concurrent.futures`` internals.  Carries
+    the offending request so callers can report *which* compile failed.
+    """
+
+    def __init__(self, message: str, request: object | None = None) -> None:
+        super().__init__(message)
+        self.request = request

@@ -117,8 +117,12 @@ class StepLatencyModel:
         buckets: The compiled shape grid.
         num_layers: Layer-count override for the compiled workloads (scaled
             serving studies, matching the rest of the evaluation harness).
-        stats: ``{"compiles", "hits"}`` counters of this model's own latency
-            cache (the session keeps its own compile-level counters).
+        stats: ``{"compiles", "hits", "compile_faults", "fallbacks"}``
+            counters of this model's own latency cache (the session keeps
+            its own compile-level counters).  ``compile_faults`` counts
+            injected transient failures that fired; ``fallbacks`` counts
+            lookups served from the closest already-compiled bucket plan
+            because of one.
     """
 
     def __init__(
@@ -137,9 +141,10 @@ class StepLatencyModel:
         self.buckets = buckets or BatchBuckets()
         self.num_layers = num_layers
         self.use_simulator = use_simulator
-        self.stats = {"compiles": 0, "hits": 0}
+        self.stats = {"compiles": 0, "hits": 0, "compile_faults": 0, "fallbacks": 0}
         self._lock = threading.Lock()
         self._latencies: dict[tuple, float] = {}
+        self._armed_failures = 0
 
     # ------------------------------------------------------------- public API
     def decode_latency(self, model: str, batch_size: int, context_tokens: int) -> float:
@@ -170,6 +175,34 @@ class StepLatencyModel:
         """The (model, phase, batch bucket, context bucket) shapes compiled."""
         with self._lock:
             return sorted(self._latencies)
+
+    def inject_compile_failures(self, count: int = 1) -> None:
+        """Arm ``count`` transient compile failures (fault injection).
+
+        Each of the next ``count`` latency lookups that *miss* the cache
+        fails transiently instead of compiling: the lookup is served from
+        the closest already-compiled bucket plan of the same (model, phase)
+        — the degraded-but-correct plan a production engine would fall back
+        to — and the requested shape stays uncompiled so the next request
+        for it retries the compile.  A miss with nothing compiled to fall
+        back to retries the compile inline (the fault is transient by
+        definition).  Cache hits are unaffected: only fresh compiles can
+        fail.
+        """
+        if count < 1:
+            raise ConfigurationError("inject_compile_failures needs count >= 1")
+        with self._lock:
+            self._armed_failures += count
+
+    def disarm_compile_failures(self) -> int:
+        """Drop any armed-but-unfired compile failures; return how many.
+
+        Chaos runs call this when they finish so faults injected for one
+        run never leak into a later run sharing the same latency model.
+        """
+        with self._lock:
+            leftover, self._armed_failures = self._armed_failures, 0
+            return leftover
 
     def prewarm(
         self,
@@ -228,6 +261,17 @@ class StepLatencyModel:
             if cached is not None:
                 self.stats["hits"] += 1
                 return cached
+            if self._armed_failures > 0:
+                self._armed_failures -= 1
+                self.stats["compile_faults"] += 1
+                fallback = self._closest_compiled_locked(key)
+                if fallback is not None:
+                    # Serve the degraded plan WITHOUT caching it under this
+                    # key: the failure is transient, so the next request at
+                    # this shape retries the real compile.
+                    self.stats["fallbacks"] += 1
+                    return fallback
+                # Nothing compiled to degrade to — retry the compile inline.
         workload = self._workload(model, phase, batch_bucket, context_bucket)
         artifact = self.session.compile(
             CompileRequest(workload, self.system, self.policy)
@@ -251,6 +295,31 @@ class StepLatencyModel:
                 return latency
             self.stats["hits"] += 1
             return winner
+
+    def _closest_compiled_locked(self, key: tuple) -> float | None:
+        """The latency of the nearest compiled shape of the same (model, phase).
+
+        "Nearest" minimizes the (batch, context) bucket distance with a
+        deterministic tie-break on the shape itself; returns ``None`` when
+        nothing of that (model, phase) has compiled yet.  Caller holds the
+        lock.
+        """
+        model, phase, batch_bucket, context_bucket = key
+        candidates = [
+            shape
+            for shape in self._latencies
+            if shape[0] == model and shape[1] == phase
+        ]
+        if not candidates:
+            return None
+        best = min(
+            candidates,
+            key=lambda shape: (
+                abs(shape[2] - batch_bucket) + abs(shape[3] - context_bucket),
+                shape,
+            ),
+        )
+        return self._latencies[best]
 
     def _workload(
         self, model: str, phase: str, batch_bucket: int, context_bucket: int
@@ -288,6 +357,8 @@ class RequestState:
         first_token_time: End of the iteration that produced its first output.
         completion_time: End of the iteration that finished it.
         steps_done: Output units produced so far (tokens / denoise steps).
+        retries: Times this request's work was lost (engine crash) and
+            re-executed from scratch.  The first attempt is not a retry.
     """
 
     spec: RequestSpec
@@ -295,6 +366,22 @@ class RequestState:
     first_token_time: float | None = None
     completion_time: float | None = None
     steps_done: int = 0
+    retries: int = 0
+
+    def reset_progress(self) -> None:
+        """Forget all serving progress (the engine holding it crashed).
+
+        Arrival time and retry count survive — queue-wait metrics keep
+        charging from the original arrival, and the retry budget is the
+        request's for life — but generated tokens, start, and first-token
+        times do not: the work is gone and must be redone.  An LLM request
+        becomes prefill-pending again, so a disaggregated fleet routes it
+        back through the prefill pool.
+        """
+        self.started_time = None
+        self.first_token_time = None
+        self.completion_time = None
+        self.steps_done = 0
 
     @property
     def group(self) -> tuple[str, str, str]:
@@ -429,6 +516,25 @@ class ContinuousBatcher:
         for queue in self._waiting.values():
             drained.extend(queue)
             queue.clear()
+        return drained
+
+    def drain_running(self) -> list[RequestState]:
+        """Remove and return every admitted, unfinished request — crash path.
+
+        Unlike :meth:`drain_waiting` (a graceful drain, where admitted work
+        finishes in place), this models an engine *crash*: admitted and
+        in-flight requests lose all progress.  Each returned state has had
+        :meth:`RequestState.reset_progress` applied, so the caller can
+        re-dispatch it through the router as if freshly arrived (modulo its
+        retry count).  Order is deterministic (group first-seen order,
+        admission order within each group).
+        """
+        drained: list[RequestState] = []
+        for members in self._running.values():
+            drained.extend(members)
+            members.clear()
+        for state in drained:
+            state.reset_progress()
         return drained
 
     def form_batch(self, now: float) -> Batch | None:

@@ -39,6 +39,10 @@ class EngineCore:
         busy_time: Total time spent executing iterations.
         iterations: Iterations executed.
         completed: Requests finished on this engine.
+        latency_scale: Multiplier on every iteration's latency (1.0 =
+            healthy).  Fault injection raises it to model a straggling
+            engine; the stretched time is real wall-clock the engine spends
+            busy, so ``busy_time`` scales with it.
     """
 
     def __init__(
@@ -56,6 +60,7 @@ class EngineCore:
         self.busy_time = 0.0
         self.iterations = 0
         self.completed = 0
+        self.latency_scale = 1.0
 
     # ---------------------------------------------------------- load signals
     @property
@@ -101,6 +106,9 @@ class EngineCore:
             raise ConfigurationError(
                 f"non-positive step latency for batch {batch.group}"
             )
+        if self.latency_scale < 1.0:
+            raise ConfigurationError("latency_scale must be >= 1.0")
+        latency *= self.latency_scale
         self.iterations += 1
         self.busy_time += latency
         self.busy = True

@@ -321,7 +321,8 @@ def test_step_latency_model_compiles_each_bucket_once(small_system, serve_sessio
     first = model.decode_latency("tiny-llm", 1, 100)
     again = model.decode_latency("tiny-llm", 1, 200)  # same buckets
     assert first == again and first > 0
-    assert model.stats == {"compiles": 1, "hits": 1}
+    assert model.stats == {"compiles": 1, "hits": 1,
+                           "compile_faults": 0, "fallbacks": 0}
     model.decode_latency("tiny-llm", 2, 100)  # new batch bucket
     assert model.stats["compiles"] == 2
     assert ("tiny-llm", "decode", 1, 256) in model.compiled_shapes()
@@ -582,5 +583,6 @@ def test_step_latency_model_race_compiles_once(small_system):
         thread.join(timeout=60)
     assert not errors
     assert len(set(results)) == 1 and results[0] is not None
-    assert model.stats == {"compiles": 1, "hits": num_threads - 1}
+    assert model.stats == {"compiles": 1, "hits": num_threads - 1,
+                           "compile_faults": 0, "fallbacks": 0}
     assert len(model.compiled_shapes()) == 1

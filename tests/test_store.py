@@ -5,6 +5,8 @@ from __future__ import annotations
 
 import json
 import os
+import sys
+import time
 
 import pytest
 
@@ -15,10 +17,11 @@ from repro.api import (
     artifact_digest,
     default_cache_dir,
 )
+from repro.api import service as api_service
 from repro.api.service import _freeze
 from repro.compiler import POLICIES, WorkloadSpec
 from repro.cost.model import AnalyticCostModel
-from repro.errors import ConfigurationError
+from repro.errors import CompileFailedError, ConfigurationError, ElkError
 from repro.scheduler import ElkOptions
 from repro.scheduler.preload_order import OrderSearchConfig
 
@@ -143,6 +146,44 @@ def test_store_evicts_foreign_schema_and_corrupt_entries(small_system, tmp_path)
     assert store.stats.evictions == 2
 
 
+def test_store_evicts_truncated_entries(small_system, tmp_path):
+    """Partial writes (e.g. a crash mid-``json.dump``) must not poison reads.
+
+    A truncated artifact file can still be *valid JSON* of the wrong shape
+    (a bare string, number, or list), so the read path has to treat every
+    structural explosion as corruption, evict, and miss — never crash.
+    """
+    root = str(tmp_path / "cache")
+    session = Session(store=root)
+    session.compile(TINY, small_system, "basic")
+    store = session.store
+    [path] = list(store._entry_paths())
+    digest = os.path.splitext(os.path.basename(path))[0]
+
+    assert store.corrupt_entry(0)  # truncate the only entry in place
+    assert store.get(digest) is None
+    assert store.stats.evictions == 1
+    assert not os.path.exists(path)
+
+    # JSON that parses to the wrong top-level type is corruption too.
+    store.put(digest, session.artifacts()[0])
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(["not", "an", "artifact"], handle)
+    assert store.get(digest) is None
+    assert store.stats.evictions == 2
+
+    # An almost-empty truncation (bare ``{``) and a zero-byte file.
+    store.put(digest, session.artifacts()[0])
+    assert store.corrupt_entry(5, keep_bytes=1)  # index wraps modulo entries
+    assert store.get(digest) is None
+    assert store.stats.evictions == 3
+
+
+def test_corrupt_entry_on_empty_store(tmp_path):
+    store = ArtifactStore(str(tmp_path / "cache"))
+    assert not store.corrupt_entry(0)  # nothing to corrupt: report, don't raise
+
+
 def test_store_clear_and_digest_validation(tmp_path):
     store = ArtifactStore(str(tmp_path / "cache"))
     assert len(store) == 0
@@ -210,3 +251,77 @@ def test_unknown_backend_rejected(small_system):
         Session().compile_many(
             [CompileRequest(TINY, small_system, "basic")], backend="fiber"
         )
+
+
+# --------------------------------------------------------------------------- #
+# Process-pool fault handling: worker death, timeouts, typed errors
+# --------------------------------------------------------------------------- #
+# Worker stand-ins must be module-level so the pool can pickle them by
+# reference; the fork start method makes the monkeypatched attributes and
+# globals below visible inside the children.
+_REAL_COMPILE_IN_SUBPROCESS = api_service._compile_in_subprocess
+_MARKER_PATH = ""  # set per-test; inherited by forked workers
+
+
+def _die_in_worker(payload):
+    os._exit(3)  # hard kill: BrokenProcessPool in the parent
+
+
+def _die_once_then_compile(payload):
+    if not os.path.exists(_MARKER_PATH):
+        open(_MARKER_PATH, "w").close()
+        os._exit(3)
+    return _REAL_COMPILE_IN_SUBPROCESS(payload)
+
+
+def _hang_in_worker(payload):
+    time.sleep(1.5)
+    os._exit(0)
+
+
+def test_worker_death_retries_on_a_fresh_pool(
+    small_system, tmp_path, monkeypatch
+):
+    monkeypatch.setattr(
+        sys.modules[__name__], "_MARKER_PATH", str(tmp_path / "worker-died")
+    )
+    monkeypatch.setattr(
+        api_service, "_compile_in_subprocess", _die_once_then_compile
+    )
+    session = Session(compile_retries=1)
+    request = CompileRequest(TINY, small_system, "basic")
+    [artifact] = session.compile_many([request], max_workers=1,
+                                      backend="process")
+    assert os.path.exists(_MARKER_PATH)  # the first attempt really died
+    assert artifact.policy == "basic" and artifact.latency > 0
+    assert session.stats.compiles == 1
+
+
+def test_worker_death_raises_typed_error_after_retries(
+    small_system, monkeypatch
+):
+    monkeypatch.setattr(api_service, "_compile_in_subprocess", _die_in_worker)
+    session = Session(compile_retries=1)
+    request = CompileRequest(TINY, small_system, "basic")
+    with pytest.raises(CompileFailedError, match="failed after 2 attempt") as err:
+        session.compile_many([request], max_workers=1, backend="process")
+    # The typed error names the offending request and counts no compiles.
+    assert err.value.request is request
+    assert "tiny-llm" in str(err.value)
+    assert isinstance(err.value, ElkError)
+    assert session.stats.compiles == 0
+
+
+def test_compile_timeout_raises_typed_error(small_system, monkeypatch):
+    monkeypatch.setattr(api_service, "_compile_in_subprocess", _hang_in_worker)
+    session = Session(compile_timeout=0.05, compile_retries=0)
+    request = CompileRequest(TINY, small_system, "basic")
+    with pytest.raises(CompileFailedError, match="TimeoutError"):
+        session.compile_many([request], max_workers=1, backend="process")
+
+
+def test_compile_timeout_and_retries_validated():
+    with pytest.raises(ConfigurationError, match="compile_timeout"):
+        Session(compile_timeout=0.0)
+    with pytest.raises(ConfigurationError, match="compile_retries"):
+        Session(compile_retries=-1)
