@@ -9,6 +9,7 @@ the paper's sweep sizes; substantially slower).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
@@ -33,8 +34,31 @@ BENCH_CACHE_DIR = os.environ.get(
 
 
 def make_store() -> ArtifactStore:
-    """A handle on the benchmarks' shared on-disk artifact store."""
+    """A handle on the benchmarks' shared on-disk artifact store.
+
+    The one place benchmarks *and* examples resolve the store location, so
+    ``REPRO_CACHE_DIR`` (via :data:`BENCH_CACHE_DIR`) steers every script
+    the same way.
+    """
     return ArtifactStore(BENCH_CACHE_DIR)
+
+
+#: Version of the journal entry layout.  Bumped whenever the stamped fields
+#: change meaning, so trajectory tooling can tell entries apart:
+#: 1 = run_index + unix_time + payload; 2 adds schema_version + config_digest.
+BENCH_JOURNAL_SCHEMA_VERSION = 2
+
+
+def bench_config_digest() -> str:
+    """Short digest of the frozen benchmark configuration.
+
+    Hashes the scaled :data:`BENCH_CONFIG`, the :data:`FULL` switch, and the
+    compile backend — everything that changes what a benchmark measures
+    without changing its name — so journal entries from different
+    configurations never get compared as one perf trajectory.
+    """
+    payload = repr((BENCH_CONFIG, FULL, BENCH_BACKEND))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
 
 
 def bench_journal(name: str, record: dict) -> str:
@@ -58,7 +82,13 @@ def bench_journal(name: str, record: dict) -> str:
         except (OSError, json.JSONDecodeError):
             pass  # corrupt journal: restart it rather than fail the benchmark
     payload["runs"].append(
-        {"run_index": len(payload["runs"]), "unix_time": time.time(), **record}
+        {
+            "run_index": len(payload["runs"]),
+            "unix_time": time.time(),
+            "schema_version": BENCH_JOURNAL_SCHEMA_VERSION,
+            "config_digest": bench_config_digest(),
+            **record,
+        }
     )
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -77,6 +77,7 @@ def _sweep(session):
             }
             row.update(result.metrics().summary())
             row.update(availability.summary())
+            row.update(result.counters())
             rows.append(row)
     return rows
 
@@ -95,6 +96,7 @@ def test_chaos_crash_rate_retry_sweep(benchmark):
             "crash_rate", "retry_policy", "crashes", "retries", "failed",
             "recovery_max_ms", "goodput_under_faults_fraction",
             "goodput_fraction", "ttft_p95_ms", "e2e_p95_ms",
+            "store_hits", "fallback_serves", "requeues",
         ],
         session=None,  # serving artifacts are per-sweep, not figure-shaped
     )
@@ -119,9 +121,15 @@ def test_chaos_crash_rate_retry_sweep(benchmark):
                for row in baseline), baseline
 
     # Determinism under chaos: replaying one faulted cell with the same
-    # seed and schedule reproduces availability bit for bit.
+    # seed and schedule reproduces availability bit for bit.  store_hits is
+    # cache-state-dependent (a warm store serves the first pass, the
+    # session's in-memory cache serves the rerun), so it is the one column
+    # excluded from the comparison.
     rerun = _sweep(session)
-    assert rerun == rows
+    stable = [{k: v for k, v in row.items() if k != "store_hits"} for row in rows]
+    assert [
+        {k: v for k, v in row.items() if k != "store_hits"} for row in rerun
+    ] == stable
 
     # One shared session across every crash rate and retry policy: bucketed
     # step plans resolve once (fresh compile on a cold store, store hit on

@@ -57,6 +57,7 @@ def _sweep(session, shapes):
                 "iterations": result.num_iterations,
             }
             row.update(result.metrics().summary())
+            row.update(result.counters())
             rows.append(row)
     # Disaggregated pools vs the colocated baseline, same engine count.
     for label, overrides in (
@@ -83,6 +84,7 @@ def _sweep(session, shapes):
             "iterations": result.num_iterations,
         }
         row.update(result.metrics().summary())
+        row.update(result.counters())
         rows.append(row)
     return rows
 
@@ -101,7 +103,9 @@ def test_cluster_fleet_router_sweep(benchmark):
         columns=[
             "scenario", "router", "num_engines", "throughput_rps",
             "goodput_fraction", "queue_p50_ms", "queue_p95_ms",
-            "ttft_p50_ms", "ttft_p95_ms", "e2e_p95_ms", "utilization",
+            "ttft_p50_ms", "ttft_p95_ms", "e2e_p95_ms",
+            "store_hits", "fallback_serves", "retries", "requeues",
+            "utilization",
         ],
         session=None,  # serving artifacts are per-sweep, not figure-shaped
     )

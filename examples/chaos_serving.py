@@ -18,8 +18,10 @@ through the fleet's robustness story:
 
 Every run keeps request accounting balanced — completed + rejected + failed
 equals arrivals — and identical seeds and schedules reproduce results bit
-for bit (each run compiles through a fresh session so compile-fault
-fallbacks see the same cache state).
+for bit.  Each run compiles through a fresh session, all backed by the
+benchmarks' persistent artifact store (honoring ``REPRO_CACHE_DIR``): on a
+warm store, injected compile faults are absorbed as store hits instead of
+fallback serves — the cache doubling as a resilience layer.
 
 Run with::
 
@@ -31,28 +33,37 @@ from __future__ import annotations
 
 import argparse
 import os
+import sys
 import tempfile
 
-from repro.cluster import (
+sys.path.insert(
+    0,
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
+    ),
+)
+from _common import make_store  # noqa: E402  (shared REPRO_CACHE_DIR helper)
+
+from repro.cluster import (  # noqa: E402
     RetryPolicy,
     random_faults,
     replay_fault_schedule,
     save_fault_schedule,
     simulate_cluster_scenario,
 )
-from repro.serve import make_serving_session
+from repro.serve import make_serving_session  # noqa: E402
 
 
 def _run(scenario: str, args: argparse.Namespace, **overrides):
-    # Fresh session per run: chaos results are then reproducible regardless
-    # of which runs came before (compile-fault fallbacks depend on what is
-    # already compiled).
+    # Fresh session per run (in-memory caches don't leak between runs), all
+    # sharing the persistent store: compile-fault behavior depends only on
+    # the store's state, which REPRO_CACHE_DIR pins explicitly.
     return simulate_cluster_scenario(
         scenario,
         policy=args.policy,
         num_requests=args.num_requests,
         seed=args.seed,
-        session=make_serving_session(),
+        session=make_serving_session(store=make_store()),
         use_simulator=False,
         **overrides,
     )
@@ -81,6 +92,12 @@ def _print_availability(result) -> None:
     print(
         f"  goodput under faults: {summary['goodput_under_faults_fraction']:.2f} "
         f"({summary['goodput_under_faults_rps']:.0f} rps)"
+    )
+    counters = result.counters()
+    print(
+        f"  counters: {counters['store_hits']} store hits, "
+        f"{counters['fallback_serves']} fallback serves, "
+        f"{counters['retries']} retries, {counters['requeues']} requeues"
     )
 
 

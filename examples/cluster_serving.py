@@ -15,7 +15,9 @@ cluster-level story each study adds:
   chunked-prefill baseline.
 
 Every run shares ONE compile session: a bucketed step plan compiles at most
-once across the whole demo, no matter how many engines serve it.
+once across the whole demo, no matter how many engines serve it.  The
+session is backed by the benchmarks' persistent artifact store (honoring
+``REPRO_CACHE_DIR``), so a second invocation resolves every plan from disk.
 
 Run with::
 
@@ -26,14 +28,24 @@ Run with::
 from __future__ import annotations
 
 import argparse
+import os
+import sys
 
-from repro.cluster import (
+sys.path.insert(
+    0,
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
+    ),
+)
+from _common import make_store  # noqa: E402  (shared REPRO_CACHE_DIR helper)
+
+from repro.cluster import (  # noqa: E402
     available_routers,
     router_descriptions,
     simulate_cluster_scenario,
 )
-from repro.eval import format_serving_summary
-from repro.serve import make_serving_session
+from repro.eval import format_serving_summary  # noqa: E402
+from repro.serve import make_serving_session  # noqa: E402
 
 
 def main() -> None:
@@ -43,12 +55,17 @@ def main() -> None:
     parser.add_argument("--policy", default="elk-full")
     args = parser.parse_args()
 
-    session = make_serving_session()
+    store = make_store()
+    session = make_serving_session(store=store)
     common = dict(
         policy=args.policy,
         num_requests=args.num_requests,
         seed=args.seed,
         session=session,
+        # Store-resolved artifacts carry metrics but no execution plan, so a
+        # warm run must time steps off the analytic timeline — pinning it
+        # here keeps cold and warm invocations bit-identical.
+        use_simulator=False,
     )
 
     # ---- fleet size x router policy --------------------------------------
@@ -115,6 +132,10 @@ def main() -> None:
     print(
         f"\n[session] {stats['compiles']} bucketed step plans compiled once "
         f"fleet-wide, {stats['result_hits']} cache reuses across every fleet"
+    )
+    print(
+        f"[store] {store.root}: {store.stats.hits} hits, "
+        f"{store.stats.puts} puts (set REPRO_CACHE_DIR to relocate)"
     )
 
 

@@ -63,6 +63,18 @@ queue- and SLO-driven autoscaler, and prefill/decode disaggregation::
 
     result = simulate_cluster_scenario("cluster-chat-fleet", num_requests=64)
     print(result.router, result.fleet_size, result.metrics().summary())
+
+:mod:`repro.obs` observes all of it: an opt-in :class:`Tracer` threads
+hierarchical spans through compile, store, serving, and fleet layers
+(exportable to Perfetto via :func:`to_chrome_trace`, bit-identical across
+same-seed runs), and a :class:`MetricsRegistry` unifies every subsystem's
+counters behind one ``snapshot()``::
+
+    from repro import Tracer, simulate_cluster_scenario, to_chrome_trace
+
+    tracer = Tracer()
+    simulate_cluster_scenario("cluster-chaos-crashes", tracer=tracer)
+    to_chrome_trace(tracer, "trace.json")  # open in ui.perfetto.dev
 """
 
 from repro.api import (
@@ -122,6 +134,12 @@ from repro.cluster import (
 from repro.errors import CompileFailedError, ElkError
 from repro.ir import Operator, OperatorGraph, TensorSpec
 from repro.ir.models import available_models, build_model
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    to_chrome_trace,
+    to_jsonl,
+)
 from repro.scheduler import ElkOptions, ElkScheduler, ExecutionPlan
 from repro.serve import (
     ArrivalTrace,
@@ -229,6 +247,10 @@ __all__ = [
     "save_fault_schedule",
     "simulate_cluster",
     "simulate_cluster_scenario",
+    "MetricsRegistry",
+    "Tracer",
+    "to_chrome_trace",
+    "to_jsonl",
     "ChipSimulator",
     "simulate_system",
     "__version__",

@@ -37,12 +37,17 @@ from concurrent.futures import (
 )
 from concurrent.futures import TimeoutError as PoolTimeout
 from dataclasses import dataclass, replace
-from typing import Callable, Hashable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Sequence
 
 from repro.api.artifacts import CompileArtifact, save_artifacts
 from repro.api.store import ArtifactStore, artifact_digest
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
 from repro.arch.chip import ChipConfig, SystemConfig
 from repro.baselines.static import StaticOptions
+from repro.codegen.generator import generate_device_program
 from repro.compiler.frontend import (
     FrontendResult,
     WorkloadSpec,
@@ -197,6 +202,12 @@ class SessionStats:
         """Plain-dict copy for logging."""
         return dataclasses.asdict(self)
 
+    def register_into(
+        self, registry: "MetricsRegistry", prefix: str = "session"
+    ) -> None:
+        """Expose these counters as a live source in a metrics registry."""
+        registry.register_source(prefix, self.snapshot)
+
 
 class Session:
     """A caching compilation service over the registry-backed pipeline.
@@ -240,6 +251,11 @@ class Session:
             request whose worker died or timed out before a
             :class:`~repro.errors.CompileFailedError` naming the request
             is raised (0 = fail on the first transient error).
+        tracer: Optional :class:`repro.obs.Tracer` receiving compile-stage
+            and store round-trip spans.  Mutable (``session.tracer = ...``),
+            so a long-lived session can be traced per run.  Spans cover the
+            serial compile path; ``compile_many`` worker pools emit no spans
+            (process children) or interleave nondeterministically (threads).
     """
 
     def __init__(
@@ -253,6 +269,7 @@ class Session:
         backend: str = "thread",
         compile_timeout: float | None = None,
         compile_retries: int = 1,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.elk_options = elk_options or ElkOptions()
         if enumeration is not None:
@@ -270,6 +287,7 @@ class Session:
             raise ConfigurationError("compile_retries must be >= 0")
         self.compile_timeout = compile_timeout
         self.compile_retries = compile_retries
+        self.tracer = tracer
         self.stats = SessionStats()
         self._lock = threading.Lock()
         self._frontends: dict[Hashable, FrontendResult] = {}
@@ -340,7 +358,17 @@ class Session:
             if cached is not None:
                 self.stats.frontend_hits += 1
                 return cached
-        built = build_frontend_result(workload, system)
+        tracer = self.tracer
+        if tracer is not None:
+            with tracer.span(
+                "frontend",
+                category="compile",
+                model=workload.model_name,
+                system=system.name,
+            ):
+                built = build_frontend_result(workload, system)
+        else:
+            built = build_frontend_result(workload, system)
         with self._lock:
             winner = self._frontends.setdefault(key, built)
             if winner is built:
@@ -363,9 +391,27 @@ class Session:
                 self.stats.profile_hits += 1
                 return cached
         frontend = self.frontend(workload, system)
-        built = build_operator_profiles(
-            frontend.per_chip_graph, system.chip, self.cost_model(system.chip), limits
-        )
+        tracer = self.tracer
+        if tracer is not None:
+            with tracer.span(
+                "partition-enumeration",
+                category="compile",
+                model=workload.model_name,
+            ) as attrs:
+                built = build_operator_profiles(
+                    frontend.per_chip_graph,
+                    system.chip,
+                    self.cost_model(system.chip),
+                    limits,
+                )
+                attrs["num_profiles"] = len(built)
+        else:
+            built = build_operator_profiles(
+                frontend.per_chip_graph,
+                system.chip,
+                self.cost_model(system.chip),
+                limits,
+            )
         with self._lock:
             winner = self._profiles.setdefault(key, built)
             if winner is built:
@@ -385,6 +431,7 @@ class Session:
             static_options=self._effective_static(request),
             frontend=self.frontend(workload, request.system),
             profiles=self.profiles(workload, request.system, elk.enumeration),
+            tracer=self.tracer,
         )
 
     def _lookup(self, key: Hashable) -> CompileArtifact | None:
@@ -400,7 +447,13 @@ class Session:
                 return cached
         if self.store is None:
             return None
-        stored = self.store.get(artifact_digest(key))
+        tracer = self.tracer
+        if tracer is not None:
+            with tracer.span("store.get", category="store", track="store") as attrs:
+                stored = self.store.get(artifact_digest(key))
+                attrs["hit"] = stored is not None
+        else:
+            stored = self.store.get(artifact_digest(key))
         if stored is None:
             return None
         with self._lock:
@@ -459,10 +512,27 @@ class Session:
         cached = self._lookup(key)
         if cached is not None:
             return cached
-        started = time.perf_counter()
-        compiler = self.compiler(request)
-        result = compiler.compile(request.policy)
-        elapsed = time.perf_counter() - started
+        tracer = self.tracer
+        if tracer is not None:
+            with tracer.span(
+                "session.compile",
+                category="compile",
+                model=request.workload_spec.model_name,
+                policy=request.policy,
+            ):
+                started = time.perf_counter()
+                compiler = self.compiler(request)
+                result = compiler.compile(request.policy)
+                elapsed = time.perf_counter() - started
+                if result.plan is not None:
+                    # Pure lowering pass, profiled for the per-stage picture;
+                    # the program itself is not part of the artifact.
+                    generate_device_program(result.plan, tracer)
+        else:
+            started = time.perf_counter()
+            compiler = self.compiler(request)
+            result = compiler.compile(request.policy)
+            elapsed = time.perf_counter() - started
         artifact = CompileArtifact.from_result(
             result,
             frontend=compiler.frontend,
@@ -475,7 +545,11 @@ class Session:
             if fresh:
                 self.stats.compiles += 1
         if fresh and self.store is not None:
-            self.store.put(artifact_digest(key), artifact)
+            if tracer is not None:
+                with tracer.span("store.put", category="store", track="store"):
+                    self.store.put(artifact_digest(key), artifact)
+            else:
+                self.store.put(artifact_digest(key), artifact)
             with self._lock:
                 self.stats.store_puts += 1
         return winner

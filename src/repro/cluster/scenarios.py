@@ -29,7 +29,7 @@ Built-ins:
 
 from __future__ import annotations
 
-from typing import ClassVar
+from typing import TYPE_CHECKING, ClassVar
 
 from repro.arch.chip import SystemConfig
 from repro.arch.presets import scaled_system
@@ -59,6 +59,9 @@ from repro.serve.scenarios import (
 )
 from repro.serve.workload import RequestShape, bursty_trace, diurnal_trace, poisson_trace
 from repro.api.service import Session
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 
 class ClusterScenario(ServingScenario):
@@ -328,6 +331,7 @@ def simulate_cluster_scenario(
     retry_policy: RetryPolicy | None = _UNSET,
     degradation: DegradationPolicy | None = _UNSET,
     prewarm: bool = False,
+    tracer: "Tracer | None" = None,
 ) -> ClusterResult:
     """Run one registered cluster scenario end to end on a fleet.
 
@@ -360,11 +364,18 @@ def simulate_cluster_scenario(
             schedule into any scenario.
         prewarm: Compile the full bucket grid up front through one
             ``compile_many`` fan-out.
+        tracer: Optional :class:`repro.obs.Tracer` observing the whole
+            fleet run: compile-stage and store spans (wired onto the session
+            for the duration of the run), per-engine iteration spans,
+            request lifecycle phases, and cluster scale/fault instants.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     system = system or scaled_system(num_cores=32, num_chips=1)
     session = session or make_serving_session()
+    previous_tracer = session.tracer
+    if tracer is not None:
+        session.tracer = tracer
     latency_model = StepLatencyModel(
         session,
         system,
@@ -372,6 +383,7 @@ def simulate_cluster_scenario(
         buckets=scenario.buckets,
         num_layers=num_layers,
         use_simulator=use_simulator,
+        tracer=tracer,
     )
     defaults = (
         scenario
@@ -393,6 +405,11 @@ def simulate_cluster_scenario(
         ),
         degradation=defaults.degradation if degradation is _UNSET else degradation,
         prewarm=prewarm,
+        tracer=tracer,
     )
     trace = scenario.trace(num_requests=num_requests, seed=seed, rate_scale=rate_scale)
-    return simulator.run(trace, slo=scenario.slo)
+    try:
+        return simulator.run(trace, slo=scenario.slo)
+    finally:
+        if tracer is not None:
+            session.tracer = previous_tracer

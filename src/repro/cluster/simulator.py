@@ -47,6 +47,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cluster.autoscaler import (
     SCALE_ADD,
@@ -82,6 +83,10 @@ from repro.serve.engine import EngineCore
 from repro.serve.metrics import RequestRecord, ServingMetrics, SLOSpec, compute_metrics
 from repro.serve.simulator import ServingResult
 from repro.serve.workload import DIFFUSION, ArrivalTrace, RequestSpec
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
 
 _ARRIVAL = 0
 _STEP_DONE = 1
@@ -176,6 +181,7 @@ class ClusterResult(ServingResult):
     num_arrivals: int = 0
     availability: AvailabilityMetrics = field(default_factory=AvailabilityMetrics)
     tenants: tuple[TenantSpec, ...] = field(default=(), compare=False)
+    store_hits: int = 0
 
     @property
     def fleet_size(self) -> int:
@@ -219,6 +225,38 @@ class ClusterResult(ServingResult):
             len(self.records) + len(self.rejected) + len(self.failed)
             == self.num_arrivals
         )
+
+    def counters(self) -> dict[str, int]:
+        """Cache/retry counters for reporting tables.
+
+        The four numbers that previously lived only in debug prints:
+        ``store_hits`` (bucket plans this run resolved from the on-disk
+        artifact store), ``fallback_serves`` (cache misses served from the
+        closest compiled plan after an injected compile failure),
+        ``retries`` (crash-lost requests granted another attempt), and
+        ``requeues`` (re-dispatches through the router: crash/drain
+        re-routes plus retry returns).
+        """
+        return {
+            "store_hits": self.store_hits,
+            "fallback_serves": self.availability.compile_fallbacks,
+            "retries": self.availability.num_retries,
+            "requeues": self.availability.num_redispatches,
+        }
+
+    def register_into(
+        self, registry: "MetricsRegistry", prefix: str = "cluster"
+    ) -> None:
+        """Register this run's metric families into one registry.
+
+        Adds the run-level serving summary (``<prefix>.serving.*``), the
+        availability counters (``<prefix>.availability.*``), and the cache/
+        retry counters (``<prefix>.counters.*``) as sources, so one
+        ``registry.snapshot()`` covers the whole run.
+        """
+        self.metrics().register_into(registry, f"{prefix}.serving")
+        self.availability.register_into(registry, f"{prefix}.availability")
+        registry.register_source(f"{prefix}.counters", self.counters)
 
     def tenant_metrics(self) -> dict[str, ServingMetrics]:
         """Per-tenant :class:`ServingMetrics`, under each tenant's own SLO.
@@ -291,6 +329,10 @@ class ClusterSimulator:
             (defaults to :class:`RetryPolicy`'s defaults).
         degradation: Graceful-degradation policy shedding arrivals by
             tenant priority under overload (``None`` = never shed).
+        tracer: Optional :class:`repro.obs.Tracer` placing scale, crash,
+            shed, fault, and retry instants on the ``cluster`` track of the
+            same timeline the engines' iteration spans and the requests'
+            lifecycle phases render on.
     """
 
     def __init__(
@@ -307,6 +349,7 @@ class ClusterSimulator:
         faults: FaultSchedule | None = None,
         retry_policy: RetryPolicy | None = None,
         degradation: DegradationPolicy | None = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if num_engines < 1:
             raise ConfigurationError("num_engines must be >= 1")
@@ -342,6 +385,7 @@ class ClusterSimulator:
                 f"got {degradation!r}"
             )
         self.degradation = degradation
+        self.tracer = tracer
 
     # ----------------------------------------------------------------- running
     def run(self, trace: ArrivalTrace, slo: SLOSpec | None = None) -> ClusterResult:
@@ -384,6 +428,8 @@ class ClusterSimulator:
         recovery_times: list[float] = []
         budget_left = policy.retry_budget  # None = unbounded
         fallback_base = self.latency_model.stats.get("fallbacks", 0)
+        store_base = self.latency_model.session.stats.store_hits
+        tracer = self.tracer
 
         def add_engine(role: str, added: float, ready: float) -> _Engine:
             engine_id = next(engine_ids)
@@ -393,6 +439,7 @@ class ClusterSimulator:
                     self.buckets,
                     engine_id=engine_id,
                     phase=_ROLE_PHASES[role],
+                    tracer=tracer,
                 ),
                 role=role,
                 added_time=added,
@@ -400,6 +447,19 @@ class ClusterSimulator:
             )
             engines[engine_id] = engine
             return engine
+
+        def note_scale(event: ScaleEvent) -> None:
+            scale_events.append(event)
+            if tracer is not None:
+                tracer.instant(
+                    f"scale-{event.action}",
+                    sim_time=event.time,
+                    category="cluster",
+                    track="cluster",
+                    engine=event.engine_id,
+                    fleet_size=event.fleet_size,
+                    reason=event.reason,
+                )
 
         # Seed the initial fleet, ready at t=0 (prewarmed before traffic).
         if self.disaggregation is not None:
@@ -463,7 +523,7 @@ class ClusterSimulator:
                 )
             elif engine.draining and not engine.core.has_work():
                 engine.removed_time = now
-                scale_events.append(
+                note_scale(
                     ScaleEvent(
                         time=now,
                         action=SCALE_REMOVE,
@@ -503,7 +563,7 @@ class ClusterSimulator:
                         f"not one of {sorted(valid)}"
                     )
                 chosen = engines[choice]
-            chosen.core.enqueue(state)
+            chosen.core.enqueue(state, now)
             return chosen
 
         def redispatch(
@@ -557,7 +617,7 @@ class ClusterSimulator:
             victim.crashed = True
             victim.removed_time = now
             avail["crashes"] += 1
-            scale_events.append(
+            note_scale(
                 ScaleEvent(
                     time=now,
                     action=SCALE_CRASH,
@@ -585,6 +645,16 @@ class ClusterSimulator:
                 heapq.heappush(
                     heap, (now + delay, next(sequence), _RETRY, state)
                 )
+                if tracer is not None:
+                    tracer.instant(
+                        "retry",
+                        sim_time=now,
+                        category="cluster",
+                        track="cluster",
+                        request=state.spec.request_id,
+                        attempt=state.retries,
+                        backoff=delay,
+                    )
                 watch.add(state.spec.request_id)
             if watch:
                 crash_watches.append((now, watch))
@@ -601,6 +671,16 @@ class ClusterSimulator:
             victim.slow_until = max(victim.slow_until, now + fault.duration)
             victim.slow_factor = fault.factor
             avail["slowdowns"] += 1
+            if tracer is not None:
+                tracer.instant(
+                    "fault-slowdown",
+                    sim_time=now,
+                    category="cluster",
+                    track="cluster",
+                    engine=victim.core.engine_id,
+                    factor=fault.factor,
+                    duration=fault.duration,
+                )
 
         def apply_corruption(fault) -> None:
             store = self.latency_model.session.store
@@ -637,7 +717,7 @@ class ClusterSimulator:
                         engine.core.engine_id,
                     ),
                 )
-                scale_events.append(
+                note_scale(
                     ScaleEvent(
                         time=now,
                         action=SCALE_ADD,
@@ -660,7 +740,7 @@ class ClusterSimulator:
                 ),
             )
             victim.draining = True
-            scale_events.append(
+            note_scale(
                 ScaleEvent(
                     time=now,
                     action=SCALE_DRAIN,
@@ -717,6 +797,15 @@ class ClusterSimulator:
                         # fleet-wide.  Shed arrivals count as rejections.
                         rejected.append(state.spec)
                         avail["shed"] += 1
+                        if tracer is not None:
+                            tracer.instant(
+                                "shed",
+                                sim_time=now,
+                                category="cluster",
+                                track="cluster",
+                                request=state.spec.request_id,
+                                tenant=state.spec.tenant,
+                            )
                         continue
                     engine = dispatch(state, now)
                     touched[engine.core.engine_id] = engine
@@ -784,8 +873,24 @@ class ClusterSimulator:
                 elif fault.kind == FAULT_COMPILE_FAILURE:
                     self.latency_model.inject_compile_failures(fault.count)
                     avail["compile_faults"] += fault.count
+                    if tracer is not None:
+                        tracer.instant(
+                            "fault-compile-failure",
+                            sim_time=now,
+                            category="cluster",
+                            track="cluster",
+                            count=fault.count,
+                        )
                 else:  # FAULT_STORE_CORRUPTION
                     apply_corruption(fault)
+                    if tracer is not None:
+                        tracer.instant(
+                            "fault-store-corruption",
+                            sim_time=now,
+                            category="cluster",
+                            track="cluster",
+                            target=fault.target,
+                        )
                 autoscale(now)
             elif kind == _RETRY:
                 # A crash-lost request returns from its backoff delay and
@@ -878,6 +983,9 @@ class ClusterSimulator:
             num_arrivals=len(trace.requests),
             availability=availability,
             tenants=tuple(self.tenants.values()),
+            store_hits=(
+                self.latency_model.session.stats.store_hits - store_base
+            ),
         )
 
 

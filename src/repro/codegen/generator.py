@@ -11,9 +11,14 @@ earlier would overflow the on-chip memory the allocator budgeted.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import CodegenError
 from repro.scheduler.plan import ExecutionPlan
 from repro.codegen.device_program import DeviceProgram, Execute, PreloadAsync
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 #: Kernel template names per operator type (vendor-library code templates).
 KERNEL_TEMPLATES = {
@@ -36,11 +41,15 @@ def kernel_for(op_type: str) -> str:
     return KERNEL_TEMPLATES.get(op_type, "popops::map")
 
 
-def generate_device_program(plan: ExecutionPlan) -> DeviceProgram:
+def generate_device_program(
+    plan: ExecutionPlan, tracer: "Tracer | None" = None
+) -> DeviceProgram:
     """Lower an execution plan to the abstract device program.
 
     Args:
         plan: A per-chip execution plan from any policy.
+        tracer: Optional :class:`repro.obs.Tracer` receiving a ``codegen``
+            stage span around the lowering.
 
     Returns:
         The validated :class:`DeviceProgram`.
@@ -49,6 +58,17 @@ def generate_device_program(plan: ExecutionPlan) -> DeviceProgram:
         CodegenError: If the plan's preload order / preload numbers cannot be
             realized as a valid instruction stream.
     """
+    if tracer is not None:
+        with tracer.span(
+            "codegen", category="compile", model=plan.model_name, policy=plan.policy
+        ) as attrs:
+            program = _generate(plan)
+            attrs["num_instructions"] = len(program.instructions)
+            return program
+    return _generate(plan)
+
+
+def _generate(plan: ExecutionPlan) -> DeviceProgram:
     n = len(plan)
     order = list(plan.preload_order)
     pos = [0] * n

@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 import repro.compiler.policies  # noqa: F401  (registers the paper's policies)
 from repro.arch.chip import SystemConfig
@@ -106,6 +109,8 @@ class ModelCompiler:
         frontend: Precomputed frontend result (e.g. from a
             :class:`repro.api.Session` cache); built lazily when omitted.
         profiles: Precomputed operator profiles; built lazily when omitted.
+        tracer: Optional :class:`repro.obs.Tracer` receiving per-stage spans
+            (``frontend``, ``partition-enumeration``, ``schedule``).
     """
 
     def __init__(
@@ -118,6 +123,7 @@ class ModelCompiler:
         enumeration: EnumerationLimits | None = None,
         frontend: FrontendResult | None = None,
         profiles: Sequence[OperatorProfile] | None = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.workload = workload
         self.system = system
@@ -130,25 +136,50 @@ class ModelCompiler:
         self.static_options = static_options or StaticOptions()
         self._frontend = frontend
         self._profiles = list(profiles) if profiles is not None else None
+        self.tracer = tracer
 
     # ------------------------------------------------------------------ shared
     @property
     def frontend(self) -> FrontendResult:
         """Frontend result (per-chip graph + sharding metadata), cached."""
         if self._frontend is None:
-            self._frontend = build_frontend_result(self.workload, self.system)
+            if self.tracer is not None:
+                with self.tracer.span(
+                    "frontend",
+                    category="compile",
+                    model=self.workload.model_name,
+                    system=self.system.name,
+                ):
+                    self._frontend = build_frontend_result(self.workload, self.system)
+            else:
+                self._frontend = build_frontend_result(self.workload, self.system)
         return self._frontend
 
     @property
     def profiles(self) -> list[OperatorProfile]:
         """Per-operator planning profiles for the per-chip graph, cached."""
         if self._profiles is None:
-            self._profiles = build_operator_profiles(
-                self.frontend.per_chip_graph,
-                self.chip,
-                self.cost_model,
-                self.elk_options.enumeration,
-            )
+            frontend = self.frontend  # build outside the enumeration span
+            if self.tracer is not None:
+                with self.tracer.span(
+                    "partition-enumeration",
+                    category="compile",
+                    model=self.workload.model_name,
+                ) as attrs:
+                    self._profiles = build_operator_profiles(
+                        frontend.per_chip_graph,
+                        self.chip,
+                        self.cost_model,
+                        self.elk_options.enumeration,
+                    )
+                    attrs["num_profiles"] = len(self._profiles)
+            else:
+                self._profiles = build_operator_profiles(
+                    frontend.per_chip_graph,
+                    self.chip,
+                    self.cost_model,
+                    self.elk_options.enumeration,
+                )
         return self._profiles
 
     @property
@@ -180,7 +211,16 @@ class ModelCompiler:
         policy = policy.lower()
         implementation = get_policy(policy)
         started = time.perf_counter()
-        output = implementation.run(self)
+        if self.tracer is not None:
+            with self.tracer.span(
+                "schedule",
+                category="compile",
+                policy=policy,
+                model=self.workload.model_name,
+            ):
+                output = implementation.run(self)
+        else:
+            output = implementation.run(self)
         elapsed = time.perf_counter() - started
         return self._package(
             policy,

@@ -76,7 +76,9 @@ def save_results(
 #: Column order of the standard serving section.  Cluster runs add the
 #: fleet labels (router, num_engines) and single-engine rows simply omit
 #: them; queue-wait percentiles are the signal routing and autoscaling
-#: studies move without touching per-step latency.
+#: studies move without touching per-step latency; the resilience counters
+#: (store_hits, fallback_serves, retries, requeues) only appear on rows
+#: whose runs produce them (cluster/chaos sweeps).
 SERVING_SUMMARY_COLUMNS = (
     "scenario",
     "policy",
@@ -99,6 +101,10 @@ SERVING_SUMMARY_COLUMNS = (
     "e2e_p50_ms",
     "e2e_p95_ms",
     "e2e_p99_ms",
+    "store_hits",
+    "fallback_serves",
+    "retries",
+    "requeues",
     "utilization",
 )
 

@@ -1,0 +1,43 @@
+"""Observability: deterministic tracing, exporters, and a metrics registry.
+
+Answers "where did this request's time go?" end to end across the four
+layers of the reproduction:
+
+- :class:`Tracer` — hierarchical spans stamped with sim-time and wall-time,
+  threaded (opt-in, ``tracer=None`` no-op fast path) through the compile
+  pipeline (frontend / partition enumeration / scheduler / codegen stages),
+  the caching :class:`~repro.api.Session` and :class:`~repro.api.ArtifactStore`
+  (hit/miss/round-trip spans), the continuous batcher (request lifecycle:
+  queued → admitted → prefill → decode → done, including retry hops after a
+  crash), and the cluster simulator (scale/crash/shed instants).
+- :func:`to_chrome_trace` / :func:`to_jsonl` — exporters whose deterministic
+  mode is bit-identical across same-seed runs; the Chrome output loads in
+  Perfetto (see the README "Observability" section).
+- :class:`MetricsRegistry` — counters/gauges/histograms plus the existing
+  per-layer metric structs registered as sources, yielding one
+  ``snapshot()`` dict and one reporting table.
+
+Quick start::
+
+    from repro import Tracer, simulate_cluster_scenario, to_chrome_trace
+
+    tracer = Tracer()
+    result = simulate_cluster_scenario("cluster-chaos-crashes", tracer=tracer)
+    to_chrome_trace(tracer, "results/cluster_trace.json")  # open in Perfetto
+"""
+
+from .export import to_chrome_trace, to_jsonl, trace_events
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "to_chrome_trace",
+    "to_jsonl",
+    "trace_events",
+]

@@ -1,0 +1,137 @@
+"""Trace exporters: JSONL and Chrome-trace-event JSON (Perfetto-viewable).
+
+Both exporters default to ``deterministic=True``, producing **bit-identical
+text across same-seed runs**: events are ordered by the tracer's global
+sequence numbers (emission order, which for the discrete-event simulators is
+heap-pop order), sim-clocked events use simulation microseconds as
+timestamps, and wall-clocked spans (compile stages, store round trips) have
+their wall times quantized out — their timestamps become the dimensionless
+sequence numbers themselves, so the nesting structure survives while the
+jitter does not.  CI asserts byte equality of two same-seed exports.
+
+With ``deterministic=False`` the wall-clocked spans instead carry real wall
+microseconds (rebased to the tracer's origin) for honest profiling.
+
+The Chrome output loads directly in https://ui.perfetto.dev or
+``chrome://tracing``: one process, one named thread per tracer track.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from .trace import Span, Tracer
+
+__all__ = ["trace_events", "to_chrome_trace", "to_jsonl"]
+
+_JSON_KW = {"sort_keys": True, "separators": (",", ":")}
+
+
+def _timestamp(span: Span, tracer: Tracer, deterministic: bool) -> tuple[float, float]:
+    """(ts, dur) in Chrome-trace units for one span."""
+    if span.sim_start is not None:
+        ts = round(span.sim_start * 1e6, 3)
+        dur = round((span.sim_end - span.sim_start) * 1e6, 3)
+        return ts, dur
+    if deterministic:
+        return float(span.seq_start), float(span.seq_end - span.seq_start)
+    ts = round((span.wall_start - tracer.wall_origin) * 1e6, 3)
+    dur = round((span.wall_end - span.wall_start) * 1e6, 3)
+    return ts, dur
+
+
+def trace_events(tracer: Tracer, *, deterministic: bool = True) -> list[dict[str, Any]]:
+    """Chrome-trace-event dicts for every finished span, sequence-ordered."""
+    spans = tracer.spans()
+    tracks: dict[str, int] = {}
+    events: list[dict[str, Any]] = []
+    for span in spans:
+        if span.track not in tracks:
+            tracks[span.track] = len(tracks) + 1
+    pid = 1
+    events.append(
+        {
+            "args": {"name": "repro"},
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+        }
+    )
+    for track, tid in tracks.items():
+        events.append(
+            {
+                "args": {"name": track},
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+            }
+        )
+    for span in spans:
+        ts, dur = _timestamp(span, tracer, deterministic)
+        event: dict[str, Any] = {
+            "args": dict(span.attrs),
+            "cat": span.category,
+            "name": span.name,
+            "ph": "i" if span.kind == "instant" else "X",
+            "pid": pid,
+            "tid": tracks[span.track],
+            "ts": ts,
+        }
+        if span.kind == "instant":
+            event["s"] = "t"
+        else:
+            event["dur"] = dur
+        events.append(event)
+    return events
+
+
+def to_chrome_trace(
+    tracer: Tracer, path: str | None = None, *, deterministic: bool = True
+) -> str:
+    """Serialize the trace as Chrome-trace JSON; optionally write ``path``.
+
+    Returns the JSON text.  With ``deterministic=True`` (default) the text
+    is bit-identical across same-seed runs.
+    """
+    payload = {
+        "displayTimeUnit": "ms",
+        "traceEvents": trace_events(tracer, deterministic=deterministic),
+    }
+    text = json.dumps(payload, **_JSON_KW) + "\n"
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text
+
+
+def to_jsonl(
+    tracer: Tracer, path: str | None = None, *, deterministic: bool = True
+) -> str:
+    """Serialize the trace as one JSON object per line; optionally write.
+
+    Each line is a :class:`Span` as a dict.  In deterministic mode the
+    ``wall_start``/``wall_end`` fields are dropped (sim times and sequence
+    numbers fully order the events); otherwise they are rebased to the
+    tracer's wall origin.
+    """
+    lines = []
+    for span in tracer.spans():
+        record = dataclasses.asdict(span)
+        record["attrs"] = dict(span.attrs)
+        if deterministic:
+            del record["wall_start"]
+            del record["wall_end"]
+        else:
+            for field in ("wall_start", "wall_end"):
+                if record[field] is not None:
+                    record[field] = round(record[field] - tracer.wall_origin, 9)
+        lines.append(json.dumps(record, **_JSON_KW))
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text

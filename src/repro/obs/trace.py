@@ -1,0 +1,288 @@
+"""Deterministic hierarchical tracing over sim-time and wall-time.
+
+One :class:`Tracer` collects :class:`Span` records from every layer of the
+stack — compile-pipeline stages (wall-clocked, nested via the
+:meth:`Tracer.span` context manager), artifact-store round trips, request
+lifecycle phases in the continuous batcher (sim-clocked, opened and closed
+asynchronously via :meth:`Tracer.begin` / :meth:`Tracer.end`), engine
+iterations (:meth:`Tracer.add_span`), and cluster scale/fault events
+(:meth:`Tracer.instant`).
+
+Determinism is the design center: every event is stamped with a global
+monotonic sequence number at open *and* close, and the discrete-event
+simulators emit events in heap-pop order, so the sequence ordering of a
+same-seed run is bit-reproducible.  Wall-clock readings are carried for
+profiling but live in separate fields that the deterministic exporters
+(:mod:`repro.obs.export`) quantize out.
+
+Tracing is strictly opt-in.  Every instrumented call site takes
+``tracer=None`` and guards with ``if tracer is not None`` — the no-op fast
+path is one attribute load and branch, benchmarked in
+``benchmarks/bench_obs_trace.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import threading
+import time
+from collections.abc import Iterator
+from typing import Any, Callable, Hashable
+
+__all__ = ["Span", "Tracer"]
+
+
+def _freeze_attrs(attrs: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
+    return tuple(sorted(attrs.items()))
+
+
+@dataclasses.dataclass(frozen=True)
+class Span:
+    """One finished trace event (a duration span or an instant).
+
+    Attributes:
+        name: Human-readable event name (``"frontend"``, ``"queued"`` ...).
+        category: Layer tag (``"compile"``, ``"store"``, ``"engine"``,
+            ``"request"``, ``"cluster"``).
+        track: Display track the event renders on (maps to a Chrome-trace
+            thread), e.g. ``"compile"``, ``"engine/0"``, ``"cluster"``.
+        kind: ``"span"`` (has duration) or ``"instant"``.
+        seq_start: Global sequence number taken when the event opened.
+        seq_end: Global sequence number taken when the event closed (equal
+            to ``seq_start`` for instants).
+        depth: Nesting depth for wall-clocked spans (0 for sim events).
+        sim_start: Simulation time at open, seconds (``None`` for
+            wall-only spans).
+        sim_end: Simulation time at close, seconds.
+        wall_start: Wall clock at open, seconds on the tracer's clock
+            (``None`` for sim-clocked events).
+        wall_end: Wall clock at close, seconds.
+        attrs: Sorted ``(key, value)`` pairs of event attributes.
+    """
+
+    name: str
+    category: str
+    track: str
+    kind: str
+    seq_start: int
+    seq_end: int
+    depth: int = 0
+    sim_start: float | None = None
+    sim_end: float | None = None
+    wall_start: float | None = None
+    wall_end: float | None = None
+    attrs: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclasses.dataclass
+class _OpenPhase:
+    name: str
+    category: str
+    track: str
+    seq_start: int
+    sim_start: float
+    attrs: dict[str, Any]
+
+
+class Tracer:
+    """Collects spans from all layers onto one deterministic timeline.
+
+    Thread-safe: the sequence counter and span list are lock-protected, and
+    the wall-span nesting stack is thread-local.  Note that *ordering*
+    determinism is only guaranteed for serial emission (the single-threaded
+    simulator event loops and the serial compile path); spans emitted from
+    `compile_many` worker pools interleave nondeterministically.
+
+    Args:
+        clock: Wall-clock source (seconds); defaults to
+            :func:`time.perf_counter`.  Injectable for tests.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock if clock is not None else time.perf_counter
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._spans: list[Span] = []
+        self._open: dict[Hashable, _OpenPhase] = {}
+        self._local = threading.local()
+        self.wall_origin = self._clock()
+
+    def _next_seq(self) -> int:
+        with self._lock:
+            self._seq += 1
+            return self._seq
+
+    def _append(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    @property
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @contextlib.contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        category: str = "compile",
+        track: str = "compile",
+        **attrs: Any,
+    ) -> Iterator[dict[str, Any]]:
+        """Wall-clocked nested span around a code block.
+
+        Yields a mutable attribute dict; entries added before exit are
+        merged into the finished span's ``attrs``.
+        """
+        stack = self._stack
+        depth = len(stack)
+        stack.append(name)
+        seq_start = self._next_seq()
+        wall_start = self._clock()
+        extra: dict[str, Any] = {}
+        try:
+            yield extra
+        finally:
+            wall_end = self._clock()
+            seq_end = self._next_seq()
+            stack.pop()
+            merged = {**attrs, **extra}
+            self._append(
+                Span(
+                    name=name,
+                    category=category,
+                    track=track,
+                    kind="span",
+                    seq_start=seq_start,
+                    seq_end=seq_end,
+                    depth=depth,
+                    wall_start=wall_start,
+                    wall_end=wall_end,
+                    attrs=_freeze_attrs(merged),
+                )
+            )
+
+    def add_span(
+        self,
+        name: str,
+        sim_start: float,
+        sim_end: float,
+        *,
+        category: str = "engine",
+        track: str = "engine",
+        **attrs: Any,
+    ) -> None:
+        """Record a completed sim-clocked span (e.g. one engine iteration)."""
+        seq_start = self._next_seq()
+        seq_end = self._next_seq()
+        self._append(
+            Span(
+                name=name,
+                category=category,
+                track=track,
+                kind="span",
+                seq_start=seq_start,
+                seq_end=seq_end,
+                sim_start=sim_start,
+                sim_end=sim_end,
+                attrs=_freeze_attrs(attrs),
+            )
+        )
+
+    def instant(
+        self,
+        name: str,
+        *,
+        sim_time: float | None = None,
+        category: str = "cluster",
+        track: str = "cluster",
+        **attrs: Any,
+    ) -> None:
+        """Record a zero-duration event (scale, crash, shed, fallback...).
+
+        Sim-clocked when ``sim_time`` is given, wall-clocked otherwise.
+        """
+        seq = self._next_seq()
+        wall = self._clock() if sim_time is None else None
+        self._append(
+            Span(
+                name=name,
+                category=category,
+                track=track,
+                kind="instant",
+                seq_start=seq,
+                seq_end=seq,
+                sim_start=sim_time,
+                sim_end=sim_time,
+                wall_start=wall,
+                wall_end=wall,
+                attrs=_freeze_attrs(attrs),
+            )
+        )
+
+    def begin(
+        self,
+        key: Hashable,
+        name: str,
+        *,
+        sim_time: float,
+        category: str = "request",
+        track: str = "request",
+        **attrs: Any,
+    ) -> None:
+        """Open an async sim-clocked phase under ``key``.
+
+        First publisher wins: a ``begin`` on an already-open key is ignored,
+        preserving the original open time.  Phases never closed with
+        :meth:`end` (e.g. work abandoned by an engine crash) are simply
+        never emitted.
+        """
+        seq = self._next_seq()
+        with self._lock:
+            if key in self._open:
+                return
+            self._open[key] = _OpenPhase(
+                name=name,
+                category=category,
+                track=track,
+                seq_start=seq,
+                sim_start=sim_time,
+                attrs=dict(attrs),
+            )
+
+    def end(self, key: Hashable, sim_time: float, **attrs: Any) -> None:
+        """Close the phase opened under ``key``; no-op if none is open."""
+        with self._lock:
+            phase = self._open.pop(key, None)
+        if phase is None:
+            return
+        seq_end = self._next_seq()
+        merged = {**phase.attrs, **attrs}
+        self._append(
+            Span(
+                name=phase.name,
+                category=phase.category,
+                track=phase.track,
+                kind="span",
+                seq_start=phase.seq_start,
+                seq_end=seq_end,
+                sim_start=phase.sim_start,
+                sim_end=sim_time,
+                attrs=_freeze_attrs(merged),
+            )
+        )
+
+    def spans(self) -> tuple[Span, ...]:
+        """All finished spans in deterministic (sequence) order."""
+        with self._lock:
+            finished = list(self._spans)
+        return tuple(sorted(finished, key=lambda s: (s.seq_start, s.seq_end)))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)

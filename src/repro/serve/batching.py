@@ -26,7 +26,11 @@ import bisect
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
 
 from repro.api.service import CompileRequest, Session
 from repro.arch.chip import SystemConfig
@@ -117,6 +121,9 @@ class StepLatencyModel:
         buckets: The compiled shape grid.
         num_layers: Layer-count override for the compiled workloads (scaled
             serving studies, matching the rest of the evaluation harness).
+        tracer: Optional :class:`repro.obs.Tracer` receiving
+            ``compile-fault`` / ``compile-fallback`` instants (compile-stage
+            spans come from the shared session's own tracer).
         stats: ``{"compiles", "hits", "compile_faults", "fallbacks"}``
             counters of this model's own latency cache (the session keeps
             its own compile-level counters).  ``compile_faults`` counts
@@ -134,6 +141,7 @@ class StepLatencyModel:
         buckets: BatchBuckets | None = None,
         num_layers: int | None = 1,
         use_simulator: bool = True,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.session = session
         self.system = system
@@ -141,6 +149,7 @@ class StepLatencyModel:
         self.buckets = buckets or BatchBuckets()
         self.num_layers = num_layers
         self.use_simulator = use_simulator
+        self.tracer = tracer
         self.stats = {"compiles": 0, "hits": 0, "compile_faults": 0, "fallbacks": 0}
         self._lock = threading.Lock()
         self._latencies: dict[tuple, float] = {}
@@ -175,6 +184,12 @@ class StepLatencyModel:
         """The (model, phase, batch bucket, context bucket) shapes compiled."""
         with self._lock:
             return sorted(self._latencies)
+
+    def register_metrics(
+        self, registry: "MetricsRegistry", prefix: str = "latency_model"
+    ) -> None:
+        """Expose the latency-cache counters as a live registry source."""
+        registry.register_source(prefix, lambda: dict(self.stats))
 
     def inject_compile_failures(self, count: int = 1) -> None:
         """Arm ``count`` transient compile failures (fault injection).
@@ -264,12 +279,28 @@ class StepLatencyModel:
             if self._armed_failures > 0:
                 self._armed_failures -= 1
                 self.stats["compile_faults"] += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "compile-fault",
+                        category="compile",
+                        track="compile",
+                        model=key[0],
+                        phase=phase,
+                    )
                 fallback = self._closest_compiled_locked(key)
                 if fallback is not None:
                     # Serve the degraded plan WITHOUT caching it under this
                     # key: the failure is transient, so the next request at
                     # this shape retries the real compile.
                     self.stats["fallbacks"] += 1
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "compile-fallback",
+                            category="compile",
+                            track="compile",
+                            model=key[0],
+                            phase=phase,
+                        )
                     return fallback
                 # Nothing compiled to degrade to — retry the compile inline.
         workload = self._workload(model, phase, batch_bucket, context_bucket)
@@ -439,6 +470,14 @@ class ContinuousBatcher:
             the moment their prefill pass completes), or ``"decode"``
             (dedicated decode pool: only accepts requests whose prefill
             already ran, plus diffusion work, which has no prefill).
+
+    The ``tracer`` and ``engine_id`` attributes (set by the owning
+    :class:`~repro.serve.engine.EngineCore`) opt the batcher into request
+    lifecycle tracing: per-request ``queued`` → ``prefill``/``decode``/
+    ``denoise`` phase spans keyed by (request id, retry attempt, phase),
+    plus ``admitted`` / ``done`` / ``handoff`` instants.  Phases of an
+    attempt abandoned by an engine crash are simply never closed, so the
+    exported trace shows only work that really ran.
     """
 
     def __init__(
@@ -450,6 +489,8 @@ class ContinuousBatcher:
             )
         self.buckets = buckets or BatchBuckets()
         self.phase = phase
+        self.tracer: "Tracer | None" = None
+        self.engine_id = 0
         # Per-group FCFS wait queues: requests only compete for admission
         # slots within their own group, and per-group queues keep each
         # iteration's admission work proportional to what is admitted
@@ -489,8 +530,13 @@ class ContinuousBatcher:
         return total
 
     # ------------------------------------------------------------- operations
-    def enqueue(self, state: RequestState) -> None:
-        """Add an arrived request to its group's FCFS wait queue."""
+    def enqueue(self, state: RequestState, now: float | None = None) -> None:
+        """Add an arrived request to its group's FCFS wait queue.
+
+        ``now`` stamps the queue-phase span when tracing (defaults to the
+        request's arrival time, which is correct for fresh arrivals but not
+        for crash requeues or disaggregation hand-offs).
+        """
         if self.phase == PHASE_PREFILL and state.spec.kind == DIFFUSION:
             raise ConfigurationError(
                 "diffusion requests have no prefill pass; route them to a "
@@ -503,6 +549,16 @@ class ContinuousBatcher:
             )
         self._first_seen.setdefault(state.group, len(self._first_seen))
         self._waiting.setdefault(state.group, deque()).append(state)
+        if self.tracer is not None:
+            rid = state.spec.request_id
+            self.tracer.begin(
+                (rid, state.retries, "queued"),
+                "queued",
+                sim_time=now if now is not None else state.spec.arrival_time,
+                category="request",
+                track=f"req/{rid}",
+                tenant=state.spec.tenant,
+            )
 
     def drain_waiting(self) -> list[RequestState]:
         """Remove and return every not-yet-admitted request.
@@ -547,10 +603,22 @@ class ContinuousBatcher:
         traffic.
         """
         # FCFS admission from each group's wait queue into its running set.
+        tracer = self.tracer
         for key, queue in self._waiting.items():
             group = self._running.setdefault(key, [])
             while queue and len(group) < self.buckets.max_batch:
-                group.append(queue.popleft())
+                state = queue.popleft()
+                group.append(state)
+                if tracer is not None:
+                    rid = state.spec.request_id
+                    tracer.end((rid, state.retries, "queued"), now)
+                    tracer.instant(
+                        "admitted",
+                        sim_time=now,
+                        category="request",
+                        track=f"req/{rid}",
+                        engine=self.engine_id,
+                    )
 
         candidates = [key for key, members in self._running.items() if members]
         if not candidates:
@@ -571,6 +639,27 @@ class ContinuousBatcher:
             # not started, and its per-step metrics must exclude that wait.
             if state.started_time is None:
                 state.started_time = now
+            if tracer is not None:
+                # First-publisher-wins begin: the span opens at the first
+                # iteration that actually runs this phase and later calls
+                # are no-ops, so one begin call per scheduled member covers
+                # prefill, decode (including post-hand-off decode on a
+                # disaggregated fleet), and denoise alike.
+                rid = state.spec.request_id
+                if state.spec.kind == DIFFUSION:
+                    phase = "denoise"
+                elif state.prefill_pending:
+                    phase = "prefill"
+                else:
+                    phase = "decode"
+                tracer.begin(
+                    (rid, state.retries, phase),
+                    phase,
+                    sim_time=now,
+                    category="request",
+                    track=f"req/{rid}",
+                    engine=self.engine_id,
+                )
         return Batch(
             group=chosen,
             requests=members,
@@ -589,6 +678,7 @@ class ContinuousBatcher:
         check :attr:`RequestState.finished` to tell hand-offs apart.
         """
         released = []
+        tracer = self.tracer
         for state in batch.requests:
             first_output = state.steps_done == 0
             state.steps_done += 1
@@ -601,6 +691,30 @@ class ContinuousBatcher:
                 released.append(state)
             elif self.phase == PHASE_PREFILL and not state.prefill_pending:
                 released.append(state)  # prefill done: hand off to decode
+            if tracer is not None:
+                rid = state.spec.request_id
+                key = (rid, state.retries)
+                if first_output and state.spec.kind != DIFFUSION:
+                    tracer.end(key + ("prefill",), now)
+                if state.finished:
+                    # Only one of these is open; end() ignores the other.
+                    tracer.end(key + ("decode",), now)
+                    tracer.end(key + ("denoise",), now)
+                    tracer.instant(
+                        "done",
+                        sim_time=now,
+                        category="request",
+                        track=f"req/{rid}",
+                        engine=self.engine_id,
+                    )
+                elif self.phase == PHASE_PREFILL and not state.prefill_pending:
+                    tracer.instant(
+                        "handoff",
+                        sim_time=now,
+                        category="request",
+                        track=f"req/{rid}",
+                        engine=self.engine_id,
+                    )
         if released:
             leaving = {id(state) for state in released}
             self._running[batch.group] = [

@@ -11,6 +11,8 @@ semantics, one implementation.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import ConfigurationError
 from repro.serve.batching import (
     PHASE_BOTH,
@@ -20,6 +22,9 @@ from repro.serve.batching import (
     RequestState,
     StepLatencyModel,
 )
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 
 class EngineCore:
@@ -33,6 +38,10 @@ class EngineCore:
         engine_id: Stable identifier within a fleet (0 for solo engines).
         phase: ``"both"`` (colocated), ``"prefill"``, or ``"decode"`` —
             forwarded to the batcher.
+        tracer: Optional :class:`repro.obs.Tracer` receiving one
+            ``iteration`` span per executed iteration on the
+            ``engine/<id>`` track, plus the batcher's request lifecycle
+            events.
 
     Attributes:
         busy: Whether an iteration is in flight.
@@ -52,10 +61,14 @@ class EngineCore:
         *,
         engine_id: int = 0,
         phase: str = PHASE_BOTH,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.engine_id = engine_id
         self.latency_model = latency_model
         self.batcher = ContinuousBatcher(buckets or latency_model.buckets, phase=phase)
+        self.tracer = tracer
+        self.batcher.tracer = tracer
+        self.batcher.engine_id = engine_id
         self.busy = False
         self.busy_time = 0.0
         self.iterations = 0
@@ -87,9 +100,13 @@ class EngineCore:
         return self.batcher.in_flight_tokens()
 
     # ------------------------------------------------------------- operations
-    def enqueue(self, state: RequestState) -> None:
-        """Hand one request to this engine's wait queue."""
-        self.batcher.enqueue(state)
+    def enqueue(self, state: RequestState, now: float | None = None) -> None:
+        """Hand one request to this engine's wait queue.
+
+        ``now`` stamps the queue-phase span when tracing (see
+        :meth:`ContinuousBatcher.enqueue`).
+        """
+        self.batcher.enqueue(state, now)
 
     def start_iteration(self, now: float) -> tuple[Batch, float] | None:
         """Form and charge the next iteration; ``None`` if nothing runnable.
@@ -112,6 +129,20 @@ class EngineCore:
         self.iterations += 1
         self.busy_time += latency
         self.busy = True
+        if self.tracer is not None:
+            tenant, model, kind = batch.group
+            self.tracer.add_span(
+                "iteration",
+                now,
+                now + latency,
+                category="engine",
+                track=f"engine/{self.engine_id}",
+                model=model,
+                kind=kind,
+                tenant=tenant,
+                batch_size=len(batch),
+                prefills=len(batch.prefills),
+            )
         return batch, latency
 
     def complete_iteration(self, batch: Batch, now: float) -> list[RequestState]:

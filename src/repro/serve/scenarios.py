@@ -25,7 +25,7 @@ and mixed LLM + DiT traffic on one engine.
 from __future__ import annotations
 
 import abc
-from typing import Callable, ClassVar, TypeVar
+from typing import TYPE_CHECKING, Callable, ClassVar, TypeVar
 
 from repro.api.service import Session
 from repro.arch.chip import SystemConfig
@@ -44,6 +44,9 @@ from repro.serve.workload import (
     diurnal_trace,
     poisson_trace,
 )
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 
 class ServingScenario(abc.ABC):
@@ -270,6 +273,7 @@ def simulate_scenario(
     session: Session | None = None,
     num_layers: int | None = 1,
     use_simulator: bool = True,
+    tracer: "Tracer | None" = None,
 ) -> ServingResult:
     """Run one registered scenario end to end and return its result.
 
@@ -286,11 +290,18 @@ def simulate_scenario(
         num_layers: Layer-count override for the compiled step workloads.
         use_simulator: Time step plans with the event-driven simulator
             (otherwise the analytic timeline).
+        tracer: Optional :class:`repro.obs.Tracer` observing the run across
+            every layer: compile-stage and store spans (wired onto the
+            session for the duration of the run), engine iteration spans,
+            and request lifecycle events.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     system = system or scaled_system(num_cores=32, num_chips=1)
     session = session or make_serving_session()
+    previous_tracer = session.tracer
+    if tracer is not None:
+        session.tracer = tracer
     latency_model = StepLatencyModel(
         session,
         system,
@@ -298,6 +309,13 @@ def simulate_scenario(
         buckets=scenario.buckets,
         num_layers=num_layers,
         use_simulator=use_simulator,
+        tracer=tracer,
     )
     trace = scenario.trace(num_requests=num_requests, seed=seed, rate_scale=rate_scale)
-    return ServingSimulator(latency_model).run(trace, slo=scenario.slo)
+    try:
+        return ServingSimulator(latency_model, tracer=tracer).run(
+            trace, slo=scenario.slo
+        )
+    finally:
+        if tracer is not None:
+            session.tracer = previous_tracer

@@ -25,6 +25,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.serve.batching import (
     Batch,
@@ -40,6 +41,9 @@ from repro.serve.metrics import (
     compute_metrics,
 )
 from repro.serve.workload import ArrivalTrace
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 _ARRIVAL = 0
 _STEP_DONE = 1
@@ -92,19 +96,23 @@ class ServingSimulator:
             target system, and compiler policy).
         buckets: Shape grid for the batcher (defaults to the latency model's,
             so admission caps and compiled shapes always agree).
+        tracer: Optional :class:`repro.obs.Tracer` receiving the engine's
+            iteration spans and request lifecycle events.
     """
 
     def __init__(
         self,
         latency_model: StepLatencyModel,
         buckets: BatchBuckets | None = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.latency_model = latency_model
         self.buckets = buckets or latency_model.buckets
+        self.tracer = tracer
 
     def run(self, trace: ArrivalTrace, slo: SLOSpec | None = None) -> ServingResult:
         """Serve every request of ``trace``; return the completed-run result."""
-        engine = EngineCore(self.latency_model, self.buckets)
+        engine = EngineCore(self.latency_model, self.buckets, tracer=self.tracer)
         sequence = itertools.count()
         heap: list[tuple[float, int, int, object]] = []
         for state in make_states(trace):

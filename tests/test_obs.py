@@ -1,0 +1,273 @@
+"""Tests for repro.obs: tracer semantics, deterministic export, registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import ArtifactStore
+from repro.cluster import simulate_cluster_scenario
+from repro.errors import ConfigurationError
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    to_chrome_trace,
+    to_jsonl,
+)
+from repro.serve import make_serving_session, simulate_scenario
+
+# --------------------------------------------------------------------------- #
+# Tracer primitives.
+# --------------------------------------------------------------------------- #
+
+
+def test_span_nesting_depth_and_seq_containment():
+    tracer = Tracer(clock=lambda: 0.0)
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("sibling") as extra:
+            extra["late"] = 1
+    spans = {span.name: span for span in tracer.spans()}
+    outer, inner, sibling = spans["outer"], spans["inner"], spans["sibling"]
+    assert outer.depth == 0 and inner.depth == 1 and sibling.depth == 1
+    # Children open and close strictly inside the parent's sequence window.
+    for child in (inner, sibling):
+        assert outer.seq_start < child.seq_start < child.seq_end < outer.seq_end
+    assert inner.seq_end < sibling.seq_start
+    assert dict(sibling.attrs) == {"late": 1}
+    # spans() sorts by sequence: parent (earliest open) first.
+    assert [span.name for span in tracer.spans()] == ["outer", "inner", "sibling"]
+
+
+def test_begin_end_first_publisher_wins_and_unopened_end_ignored():
+    tracer = Tracer(clock=lambda: 0.0)
+    tracer.begin(("r1", "queued"), "queued", sim_time=1.0, tenant="a")
+    tracer.begin(("r1", "queued"), "queued", sim_time=5.0, tenant="b")  # ignored
+    tracer.end(("r1", "queued"), 7.0)
+    tracer.end(("never-opened",), 9.0)  # no-op
+    (span,) = tracer.spans()
+    assert span.sim_start == 1.0 and span.sim_end == 7.0
+    assert dict(span.attrs) == {"tenant": "a"}
+
+
+def test_abandoned_phase_is_never_emitted():
+    tracer = Tracer(clock=lambda: 0.0)
+    tracer.begin(("r1", "decode"), "decode", sim_time=1.0)
+    assert len(tracer) == 0
+    assert tracer.spans() == ()
+
+
+def test_instants_and_add_span_record_sim_times():
+    tracer = Tracer(clock=lambda: 2.5)
+    tracer.add_span("iteration", 0.5, 0.75, track="engine/0", batch_size=4)
+    tracer.instant("scale-add", sim_time=0.6, engine=1)
+    tracer.instant("wall-marker")  # wall-clocked instant
+    iteration, scale, marker = tracer.spans()
+    assert iteration.sim_start == 0.5 and iteration.sim_end == 0.75
+    assert scale.kind == "instant" and scale.seq_start == scale.seq_end
+    assert marker.sim_start is None and marker.wall_start == 2.5
+
+
+# --------------------------------------------------------------------------- #
+# Exporters.
+# --------------------------------------------------------------------------- #
+
+
+def _tiny_trace() -> Tracer:
+    ticks = iter(range(100))
+    tracer = Tracer(clock=lambda: float(next(ticks)))
+    with tracer.span("compile-stage", category="compile"):
+        pass
+    tracer.add_span("iteration", 0.001, 0.002, track="engine/0")
+    tracer.instant("crash", sim_time=0.0015, category="cluster")
+    return tracer
+
+
+def test_chrome_trace_structure_and_metadata():
+    data = json.loads(to_chrome_trace(_tiny_trace()))
+    assert data["displayTimeUnit"] == "ms"
+    events = data["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {"process_name", "thread_name"} <= {e["name"] for e in meta}
+    tracks = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+    assert tracks == {"compile", "engine/0", "cluster"}
+    complete = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(complete) == 2 and len(instants) == 1
+    assert instants[0]["s"] == "t"
+    # Sim-clocked events are stamped in simulation microseconds.
+    iteration = next(e for e in complete if e["name"] == "iteration")
+    assert iteration["ts"] == pytest.approx(1000.0)
+    assert iteration["dur"] == pytest.approx(1000.0)
+
+
+def test_deterministic_export_quantizes_wall_times_out():
+    tracer = _tiny_trace()
+    stage = next(
+        e
+        for e in json.loads(to_chrome_trace(tracer))["traceEvents"]
+        if e.get("name") == "compile-stage"
+    )
+    # Deterministic mode: wall spans get dimensionless sequence timestamps.
+    assert stage["ts"] == 1.0 and stage["dur"] == 1.0
+    for line in to_jsonl(tracer).splitlines():
+        record = json.loads(line)
+        assert "wall_start" not in record and "wall_end" not in record
+    # Non-deterministic mode keeps (rebased) wall readings.
+    honest = [json.loads(line) for line in to_jsonl(tracer, deterministic=False).splitlines()]
+    assert any(record["wall_start"] is not None for record in honest)
+
+
+def test_jsonl_round_trips_span_fields():
+    records = [json.loads(line) for line in to_jsonl(_tiny_trace()).splitlines()]
+    assert [r["name"] for r in records] == ["compile-stage", "iteration", "crash"]
+    assert records[1]["track"] == "engine/0"
+    assert records[2]["kind"] == "instant"
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end determinism across the four layers.
+# --------------------------------------------------------------------------- #
+
+
+def _traced_chaos_run(store_root):
+    tracer = Tracer()
+    session = make_serving_session(store=ArtifactStore(str(store_root)))
+    result = simulate_cluster_scenario(
+        "cluster-chaos-crashes",
+        policy="basic",
+        num_requests=16,
+        seed=5,
+        session=session,
+        use_simulator=False,
+        tracer=tracer,
+    )
+    return tracer, result
+
+
+def test_same_seed_cluster_trace_is_bit_identical(tmp_path):
+    tracer_a, result_a = _traced_chaos_run(tmp_path / "a")
+    tracer_b, result_b = _traced_chaos_run(tmp_path / "b")
+    assert to_chrome_trace(tracer_a) == to_chrome_trace(tracer_b)
+    assert to_jsonl(tracer_a) == to_jsonl(tracer_b)
+    assert result_a.metrics() == result_b.metrics()
+
+    # Spans from all four layers share the one timeline.
+    categories = {span.category for span in tracer_a.spans()}
+    assert {"compile", "store", "engine", "request", "cluster"} <= categories
+    names = {span.name for span in tracer_a.spans()}
+    assert {"frontend", "schedule", "codegen", "store.get", "store.put",
+            "queued", "prefill", "decode", "done", "scale-crash"} <= names
+
+
+def test_tracing_does_not_change_serving_metrics():
+    baseline = simulate_scenario(
+        "interactive-chat", policy="basic", num_requests=12, seed=3,
+        use_simulator=False,
+    )
+    traced = simulate_scenario(
+        "interactive-chat", policy="basic", num_requests=12, seed=3,
+        use_simulator=False, tracer=Tracer(),
+    )
+    assert traced.metrics() == baseline.metrics()
+
+
+def test_request_lifecycle_spans_cover_every_request():
+    tracer = Tracer()
+    result = simulate_scenario(
+        "interactive-chat", policy="basic", num_requests=8, seed=1,
+        use_simulator=False, tracer=tracer,
+    )
+    by_request: dict[str, set[str]] = {}
+    for span in tracer.spans():
+        if span.category == "request" and span.kind == "span":
+            by_request.setdefault(span.track, set()).add(span.name)
+    assert len(by_request) == len(result.records) == 8
+    for phases in by_request.values():
+        assert {"queued", "prefill", "decode"} <= phases
+
+
+def test_scenario_run_restores_session_tracer():
+    session = make_serving_session()
+    simulate_scenario(
+        "interactive-chat", policy="basic", num_requests=4, seed=0,
+        session=session, use_simulator=False, tracer=Tracer(),
+    )
+    assert session.tracer is None
+
+
+# --------------------------------------------------------------------------- #
+# MetricsRegistry.
+# --------------------------------------------------------------------------- #
+
+
+def test_registry_instruments_and_snapshot():
+    registry = MetricsRegistry()
+    requests = registry.counter("requests")
+    depth = registry.gauge("queue_depth")
+    lat = registry.histogram("latency_ms")
+    requests.inc()
+    requests.inc(2)
+    depth.set(7)
+    for value in (1.0, 2.0, 3.0, 4.0):
+        lat.observe(value)
+    registry.register_source("store", lambda: {"hits": 5, "misses": 1})
+    snapshot = registry.snapshot()
+    assert snapshot["requests"] == 3
+    assert snapshot["queue_depth"] == 7
+    assert snapshot["latency_ms.count"] == 4
+    assert snapshot["latency_ms.p50"] == pytest.approx(2.5)
+    assert snapshot["store.hits"] == 5
+    assert list(snapshot) == sorted(snapshot)
+    table = registry.table()
+    assert "latency_ms.p95" in table and "store.misses" in table
+
+
+def test_registry_rejects_duplicate_names_across_kinds():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    for factory in (registry.counter, registry.gauge, registry.histogram):
+        with pytest.raises(ConfigurationError):
+            factory("x")
+    with pytest.raises(ConfigurationError):
+        registry.register_source("x", lambda: {})
+    with pytest.raises(ConfigurationError):
+        registry.counter("")
+
+
+def test_counter_rejects_negative_increments():
+    registry = MetricsRegistry()
+    counter = registry.counter("n")
+    with pytest.raises(ConfigurationError):
+        counter.inc(-1)
+
+
+def test_existing_structs_register_as_sources(tmp_path):
+    tracer = Tracer()
+    session = make_serving_session(store=ArtifactStore(str(tmp_path)))
+    result = simulate_cluster_scenario(
+        "cluster-chaos-crashes",
+        policy="basic",
+        num_requests=12,
+        seed=2,
+        session=session,
+        use_simulator=False,
+        tracer=tracer,
+    )
+    registry = MetricsRegistry()
+    result.register_into(registry)
+    session.stats.register_into(registry)
+    session.store.stats.register_into(registry)
+    snapshot = registry.snapshot()
+    assert "cluster.serving.throughput_rps" in snapshot
+    assert "cluster.availability.crashes" in snapshot
+    assert "cluster.counters.requeues" in snapshot
+    assert "session.compiles" in snapshot
+    assert "store.hits" in snapshot
+    assert snapshot["cluster.counters.retries"] == result.availability.num_retries
+    # Double registration of one result is a configuration error, not a
+    # silent shadow.
+    with pytest.raises(ConfigurationError):
+        result.register_into(registry)
