@@ -5,18 +5,21 @@ figure) on a *scaled* configuration — a representative number of identical
 transformer layers on the IPU-POD4-like system — prints them, and writes them
 to ``results/``.  Set ``REPRO_BENCH_FULL=1`` to run the full grids (closer to
 the paper's sweep sizes; substantially slower).
+
+Store resolution, config digests, and the ``BENCH_*.json`` journal format
+all live in :mod:`repro.sweep.journal`; this module only binds them to the
+benchmarks' directories and scaled configuration.  The sweep-shaped
+benchmarks themselves run through :mod:`repro.sweep` specs.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 import os
-import time
 
-from repro.api.store import CACHE_DIR_ENV, ArtifactStore
+from repro.api.store import ArtifactStore
 from repro.eval import ExperimentConfig, make_session
 from repro.eval.reporting import save_results
+from repro.sweep.journal import append_journal, config_digest, resolve_cache_dir
 
 #: Directory where benchmark tables are persisted.
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results")
@@ -28,9 +31,7 @@ FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 #: same ``REPRO_CACHE_DIR`` override as the library default, but falls back
 #: to a repo-local directory so benchmark runs never warm (or pollute) the
 #: user-wide cache unless explicitly pointed at it.
-BENCH_CACHE_DIR = os.environ.get(
-    CACHE_DIR_ENV, os.path.join(RESULTS_DIR, "compile_cache")
-)
+BENCH_CACHE_DIR = resolve_cache_dir(os.path.join(RESULTS_DIR, "compile_cache"))
 
 
 def make_store() -> ArtifactStore:
@@ -43,12 +44,6 @@ def make_store() -> ArtifactStore:
     return ArtifactStore(BENCH_CACHE_DIR)
 
 
-#: Version of the journal entry layout.  Bumped whenever the stamped fields
-#: change meaning, so trajectory tooling can tell entries apart:
-#: 1 = run_index + unix_time + payload; 2 adds schema_version + config_digest.
-BENCH_JOURNAL_SCHEMA_VERSION = 2
-
-
 def bench_config_digest() -> str:
     """Short digest of the frozen benchmark configuration.
 
@@ -57,44 +52,18 @@ def bench_config_digest() -> str:
     without changing its name — so journal entries from different
     configurations never get compared as one perf trajectory.
     """
-    payload = repr((BENCH_CONFIG, FULL, BENCH_BACKEND))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+    return config_digest((BENCH_CONFIG, FULL, BENCH_BACKEND))
 
 
 def bench_journal(name: str, record: dict) -> str:
     """Append one machine-readable run record to ``results/BENCH_<name>.json``.
 
-    The journal holds ``{"benchmark": name, "runs": [...]}`` with one entry
-    per invocation, so consecutive runs of one benchmark — e.g. a cold run
-    and a warm run against the same artifact store, or the same benchmark
-    across PRs — line up as a perf trajectory that later tooling (and the CI
-    warm-cache smoke step) can diff.
+    Layout and semantics come from :func:`repro.sweep.journal.append_journal`
+    (see :func:`repro.sweep.journal.validate_journal` for the schema); this
+    wrapper pins the benchmarks' results directory and config digest.
     """
-    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    payload = {"benchmark": name, "runs": []}
-    if os.path.exists(path):
-        try:
-            with open(path, encoding="utf-8") as handle:
-                existing = json.load(handle)
-            if isinstance(existing, dict) and isinstance(existing.get("runs"), list):
-                payload = existing
-        except (OSError, json.JSONDecodeError):
-            pass  # corrupt journal: restart it rather than fail the benchmark
-    payload["runs"].append(
-        {
-            "run_index": len(payload["runs"]),
-            "unix_time": time.time(),
-            "schema_version": BENCH_JOURNAL_SCHEMA_VERSION,
-            "config_digest": bench_config_digest(),
-            **record,
-        }
-    )
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"[bench journal: run {len(payload['runs']) - 1} appended to {path}]")
-    return path
+    return append_journal(RESULTS_DIR, name, record, digest=bench_config_digest())
+
 
 #: Scaled configuration used by default in every benchmark.
 BENCH_CONFIG = ExperimentConfig(

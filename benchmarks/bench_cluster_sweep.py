@@ -1,11 +1,13 @@
 """Cluster sweep: tail latency across fleet size × router policy.
 
-The fleet-scale counterpart of the serving sweep: the cluster-chat-fleet
-scenario replayed across fleet sizes and every registered router policy,
-plus the prefill/decode disaggregation comparison (dedicated pools vs the
-chunked-prefill colocated baseline) — all through ONE shared compile
-session, so each bucketed step plan compiles exactly once for the whole
-sweep no matter how many engines, fleet sizes, or routers serve it.
+The fleet-scale counterpart of the serving sweep as a declarative
+:class:`repro.sweep.SweepSpec`: the cluster-chat-fleet scenario replayed
+across fleet sizes and every registered router policy, plus the
+prefill/decode disaggregation comparison (dedicated pools vs the
+chunked-prefill colocated baseline) expressed as the spec's ``include``
+pair — all through ONE shared compile session, so each bucketed step plan
+compiles exactly once for the whole sweep no matter how many engines,
+fleet sizes, or routers serve it.
 
 Like the serving sweep, the session is backed by the benchmarks'
 persistent artifact store and step latencies are the analytic timeline
@@ -15,12 +17,10 @@ session/store stats, and the result rows to
 ``results/BENCH_cluster_sweep.json``.
 """
 
-import time
+from _common import BENCH_BACKEND, FULL, RESULTS_DIR, make_store, report
 
-from _common import BENCH_BACKEND, FULL, bench_journal, make_store, report
-
-from repro.cluster import DisaggregationConfig, available_routers, simulate_cluster_scenario
-from repro.serve import make_serving_session
+from repro.cluster import DisaggregationConfig, available_routers
+from repro.sweep import SweepSpec, run_sweep
 
 SCENARIO = "cluster-chat-fleet"
 FLEET_SIZES = (1, 2, 4, 8) if FULL else (1, 4)
@@ -33,106 +33,76 @@ SEED = 11
 DISAGG_SCENARIO = "cluster-disaggregated"
 DISAGG_POOLS = DisaggregationConfig(prefill_engines=1, decode_engines=2)
 
-
-def _sweep(session, shapes):
-    rows = []
-    for router in available_routers():
-        for num_engines in FLEET_SIZES:
-            result = simulate_cluster_scenario(
-                SCENARIO,
-                policy=POLICY,
-                num_requests=NUM_REQUESTS,
-                seed=SEED,
-                session=session,
-                use_simulator=False,  # identical on cold and warm cache runs
-                router=router,
-                num_engines=num_engines,
-            )
-            shapes.update(result.compiled_shapes)
-            row = {
-                "scenario": SCENARIO,
-                "policy": POLICY,
-                "router": router,
-                "num_engines": num_engines,
-                "iterations": result.num_iterations,
-            }
-            row.update(result.metrics().summary())
-            row.update(result.counters())
-            rows.append(row)
-    # Disaggregated pools vs the colocated baseline, same engine count.
-    for label, overrides in (
-        ("colocated", dict(disaggregation=None,
-                           num_engines=DISAGG_POOLS.prefill_engines
-                           + DISAGG_POOLS.decode_engines)),
-        ("disaggregated", dict(disaggregation=DISAGG_POOLS)),
-    ):
-        result = simulate_cluster_scenario(
-            DISAGG_SCENARIO,
-            policy=POLICY,
-            num_requests=NUM_REQUESTS,
-            seed=SEED,
-            session=session,
-            use_simulator=False,
-            **overrides,
-        )
-        shapes.update(result.compiled_shapes)
-        row = {
-            "scenario": f"{DISAGG_SCENARIO}:{label}",
-            "policy": POLICY,
-            "router": result.router,
-            "num_engines": len(result.engines),
-            "iterations": result.num_iterations,
-        }
-        row.update(result.metrics().summary())
-        row.update(result.counters())
-        rows.append(row)
-    return rows
+SPEC = SweepSpec(
+    name="cluster_sweep",
+    adapter="cluster",
+    description="Cluster: tail latency across fleet size x router policy",
+    axes={"router": available_routers(), "num_engines": FLEET_SIZES},
+    seeds=(SEED,),
+    fixed={
+        "scenario": SCENARIO,
+        "policy": POLICY,
+        "num_requests": NUM_REQUESTS,
+        "use_simulator": False,  # identical on cold and warm cache runs
+    },
+    include=(
+        {
+            "scenario": DISAGG_SCENARIO,
+            "variant": "colocated",
+            "disaggregation": None,
+            "num_engines": DISAGG_POOLS.prefill_engines + DISAGG_POOLS.decode_engines,
+        },
+        {
+            "scenario": DISAGG_SCENARIO,
+            "variant": "disaggregated",
+            "disaggregation": {
+                "prefill_engines": DISAGG_POOLS.prefill_engines,
+                "decode_engines": DISAGG_POOLS.decode_engines,
+            },
+        },
+    ),
+    columns=(
+        "scenario", "router", "num_engines", "throughput_rps",
+        "goodput_fraction", "queue_p50_ms", "queue_p95_ms",
+        "ttft_p50_ms", "ttft_p95_ms", "e2e_p95_ms",
+        "store_hits", "fallback_serves", "retries", "requeues",
+        "utilization",
+    ),
+)
 
 
 def test_cluster_fleet_router_sweep(benchmark):
     store = make_store()
-    session = make_serving_session(store=store, backend=BENCH_BACKEND)
-    shapes: set = set()
-    started = time.perf_counter()
-    rows = benchmark.pedantic(_sweep, args=(session, shapes), rounds=1, iterations=1)
-    wall_seconds = time.perf_counter() - started
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(SPEC,),
+        kwargs=dict(store=store, backend=BENCH_BACKEND),
+        rounds=1,
+        iterations=1,
+    )
     report(
-        "cluster_sweep",
-        "Cluster: tail latency across fleet size x router policy",
-        rows,
-        columns=[
-            "scenario", "router", "num_engines", "throughput_rps",
-            "goodput_fraction", "queue_p50_ms", "queue_p95_ms",
-            "ttft_p50_ms", "ttft_p95_ms", "e2e_p95_ms",
-            "store_hits", "fallback_serves", "retries", "requeues",
-            "utilization",
-        ],
+        SPEC.name,
+        SPEC.description,
+        result.rows,
+        columns=SPEC.columns,
         session=None,  # serving artifacts are per-sweep, not figure-shaped
     )
-    stats = session.stats.snapshot()
-    bench_journal(
-        "cluster_sweep",
-        {
-            "wall_seconds": wall_seconds,
-            "session_stats": stats,
-            "store_stats": store.stats.snapshot(),
-            "distinct_shapes": len(shapes),
-            "cache_dir": store.root,
-            "full_grid": FULL,
-            "rows": rows,
-        },
-    )
-    assert len(rows) == len(available_routers()) * len(FLEET_SIZES) + 2
+    result.journal(RESULTS_DIR, full_grid=FULL)
+    assert result.ok, result.errors
+    assert len(result.rows) == len(available_routers()) * len(FLEET_SIZES) + 2
 
     # One shared session across every fleet size, router, and the
     # disaggregation pair: each distinct bucketed shape resolves exactly
     # once (fresh compile on a cold store, store hit on a warm one).
-    assert stats["compiles"] + stats["store_hits"] == len(shapes), (stats, shapes)
+    stats = result.session_stats
+    assert stats["compiles"] + stats["store_hits"] == result.distinct_shapes, (
+        stats, result.distinct_shapes,
+    )
     assert stats["result_hits"] > 0, stats
 
     # Growing the least-loaded fleet must not hurt p95 TTFT.
     series = sorted(
-        (row for row in rows if row.get("router") == "least-loaded"
+        (row for row in result.rows if row.get("router") == "least-loaded"
          and row["scenario"] == SCENARIO),
         key=lambda row: row["num_engines"],
     )

@@ -1,9 +1,10 @@
 """Figure 16: Elk compile time for varied models and batch sizes.
 
-Runs through the ``repro.api`` Session layer, but deliberately NOT through
-the process-wide shared session in ``_common``: compile time must be
-measured COLD, so a fresh session is created per workload and every
-``compile_seconds`` covers the full frontend + profile + scheduling work.
+Expressed as a declarative :class:`repro.sweep.SweepSpec` over the
+``compile-time`` adapter, which deliberately does NOT reuse a sweep-wide
+shared session: compile time must be measured COLD, so the adapter creates
+a fresh session per point and every ``compile_seconds`` covers the full
+frontend + profile + scheduling work.
 
 The cold sessions do share one persistent :class:`ArtifactStore`
 (``REPRO_CACHE_DIR`` or ``results/compile_cache``): the first run against an
@@ -16,57 +17,62 @@ how CI asserts the warm run performs zero fresh compiles and how later PRs
 show compile-path speedups.
 """
 
-import time
+from _common import BENCH_BACKEND, BENCH_CONFIG, FULL, RESULTS_DIR, make_store, report
 
-from _common import BENCH_CONFIG, FULL, bench_journal, make_store, report
+from repro.ir.models import PAPER_LLM_NAMES
+from repro.sweep import SweepSpec, run_sweep
 
-from repro.eval import compile_time_report, make_session
+BATCH_SIZES = (2, 8, 32, 64) if FULL else (8, 32)
 
-
-def _rows(store, sessions):
-    batch_sizes = (2, 8, 32, 64) if FULL else (8, 32)
-
-    def cold_session():
-        # One cold session per workload (sharing in-process caches would
-        # time cache hits), but all of them backed by the shared store.
-        session = make_session(BENCH_CONFIG, store=store)
-        sessions.append(session)
-        return session
-
-    return compile_time_report(
-        batch_sizes=batch_sizes,
-        config=BENCH_CONFIG,
-        session_factory=cold_session,
-    )
+SPEC = SweepSpec(
+    name="compile_time",
+    adapter="compile-time",
+    description="Fig. 16: Elk-Full compile time per model and batch size (scaled layers)",
+    axes={"model": PAPER_LLM_NAMES, "batch_size": BATCH_SIZES},
+    seeds=(0,),
+    fixed={
+        "num_layers": BENCH_CONFIG.num_layers,
+        "seq_len": BENCH_CONFIG.seq_len,
+        "use_simulator": BENCH_CONFIG.use_simulator,
+        "max_preload_ahead": BENCH_CONFIG.max_preload_ahead,
+        "max_order_candidates": BENCH_CONFIG.max_order_candidates,
+    },
+    columns=(
+        "model", "batch_size", "layers_compiled", "compile_seconds",
+        "projected_full_model_seconds", "orders_evaluated",
+    ),
+)
 
 
 def test_fig16_compile_time(benchmark):
     store = make_store()
-    sessions = []
-    started = time.perf_counter()
-    rows = benchmark.pedantic(_rows, args=(store, sessions), rounds=1, iterations=1)
-    wall_seconds = time.perf_counter() - started
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(SPEC,),
+        kwargs=dict(store=store, backend=BENCH_BACKEND),
+        rounds=1,
+        iterations=1,
+    )
+    rows = result.rows
     report(
         "fig16_compile_time",
-        "Fig. 16: Elk-Full compile time per model and batch size (scaled layers)",
+        SPEC.description,
         rows,
+        columns=SPEC.columns,
         session=None,  # cold sessions are discarded; nothing shared to persist
     )
-    compiles = sum(s.stats.compiles for s in sessions)
-    store_hits = sum(s.stats.store_hits for s in sessions)
-    bench_journal(
-        "compile_time",
-        {
-            "wall_seconds": wall_seconds,
-            "compiles": compiles,
-            "store_hits": store_hits,
-            "store_stats": store.stats.snapshot(),
-            "cache_dir": store.root,
-            "cache_entries": len(store),
-            "full_grid": FULL,
-            "rows": rows,
-        },
+    # compiles / store_hits aggregate the per-point COLD sessions (the
+    # CI warm-cache smoke diffs them across a cold and a warm run).
+    compiles = result.cold_stats.get("compiles", 0)
+    store_hits = result.cold_stats.get("store_hits", 0)
+    result.journal(
+        RESULTS_DIR,
+        compiles=compiles,
+        store_hits=store_hits,
+        cache_entries=len(store),
+        full_grid=FULL,
     )
+    assert result.ok, result.errors
     assert rows
     # Every workload resolved either as a fresh compile or a store hit.
     assert compiles + store_hits == len(rows), (compiles, store_hits, len(rows))

@@ -1,11 +1,12 @@
 """Serving sweep: goodput and tail latency across arrival rate × policy.
 
-The serving-layer counterpart of the latency figures: the interactive-chat
-scenario replayed at several arrival-rate multiples under every compiler
-policy that produces an execution plan, all through ONE shared compile
-session — so each bucketed (workload, policy, batch-bucket) step plan
-compiles exactly once for the whole sweep, however many rate points reuse
-it.
+The serving-layer counterpart of the latency figures, expressed as a
+declarative :class:`repro.sweep.SweepSpec`: the interactive-chat scenario
+replayed at several arrival-rate multiples under every compiler policy that
+produces an execution plan.  The sweep runner drives every point through
+ONE shared compile session — so each bucketed (workload, policy,
+batch-bucket) step plan compiles exactly once for the whole sweep, however
+many rate points reuse it.
 
 The session is backed by the benchmarks' persistent artifact store and the
 step latencies are the analytic timeline numbers (``use_simulator=False``):
@@ -17,11 +18,9 @@ store serves every bucketed step plan and the session performs zero fresh
 compiles.
 """
 
-import time
+from _common import BENCH_BACKEND, FULL, RESULTS_DIR, make_store, report
 
-from _common import BENCH_BACKEND, FULL, bench_journal, make_store, report
-
-from repro.serve import make_serving_session, simulate_scenario
+from repro.sweep import SweepSpec, run_sweep
 
 #: Plan-producing policies (rooflines have no plan to serve with).
 SWEEP_POLICIES = ("basic", "static", "elk-dyn", "elk-full")
@@ -30,84 +29,60 @@ RATE_SCALES = (0.5, 1.0, 2.0, 4.0, 8.0) if FULL else (1.0, 4.0)
 NUM_REQUESTS = 96 if FULL else 32
 SCENARIO = "interactive-chat"
 
-
-def _sweep(session, shapes_by_policy):
-    rows = []
-    for policy in SWEEP_POLICIES:
-        for rate_scale in RATE_SCALES:
-            result = simulate_scenario(
-                SCENARIO,
-                policy=policy,
-                num_requests=NUM_REQUESTS,
-                seed=11,
-                rate_scale=rate_scale,
-                session=session,
-                use_simulator=False,  # identical on cold and warm cache runs
-            )
-            shapes_by_policy.setdefault(policy, set()).update(
-                result.compiled_shapes
-            )
-            row = {
-                "scenario": SCENARIO,
-                "policy": policy,
-                "rate_scale": rate_scale,
-                "iterations": result.num_iterations,
-            }
-            row.update(result.metrics().summary())
-            rows.append(row)
-    return rows
+SPEC = SweepSpec(
+    name="serving_sweep",
+    adapter="serving",
+    description="Serving: goodput under SLO across arrival rate x compiler policy",
+    axes={"policy": SWEEP_POLICIES, "rate_scale": RATE_SCALES},
+    seeds=(11,),
+    fixed={
+        "scenario": SCENARIO,
+        "num_requests": NUM_REQUESTS,
+        "use_simulator": False,  # identical on cold and warm cache runs
+    },
+    columns=(
+        "scenario", "policy", "rate_scale", "throughput_rps",
+        "goodput_rps", "goodput_fraction", "ttft_p50_ms", "ttft_p95_ms",
+        "ttft_p99_ms", "tpot_p95_ms", "tpot_p99_ms", "utilization",
+    ),
+)
 
 
 def test_serving_rate_policy_sweep(benchmark):
     store = make_store()
-    session = make_serving_session(store=store, backend=BENCH_BACKEND)
-    shapes_by_policy: dict[str, set] = {}
-    started = time.perf_counter()
-    rows = benchmark.pedantic(
-        _sweep, args=(session, shapes_by_policy), rounds=1, iterations=1
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(SPEC,),
+        kwargs=dict(store=store, backend=BENCH_BACKEND),
+        rounds=1,
+        iterations=1,
     )
-    wall_seconds = time.perf_counter() - started
     report(
-        "serving_sweep",
-        "Serving: goodput under SLO across arrival rate x compiler policy",
-        rows,
-        columns=[
-            "scenario", "policy", "rate_scale", "throughput_rps",
-            "goodput_rps", "goodput_fraction", "ttft_p50_ms", "ttft_p95_ms",
-            "ttft_p99_ms", "tpot_p95_ms", "tpot_p99_ms", "utilization",
-        ],
+        SPEC.name,
+        SPEC.description,
+        result.rows,
+        columns=SPEC.columns,
         session=None,  # serving artifacts are per-sweep, not figure-shaped
     )
-    stats = session.stats.snapshot()
-    distinct_shapes = sum(len(shapes) for shapes in shapes_by_policy.values())
-    bench_journal(
-        "serving_sweep",
-        {
-            "wall_seconds": wall_seconds,
-            "session_stats": stats,
-            "store_stats": store.stats.snapshot(),
-            "distinct_shapes": distinct_shapes,
-            "cache_dir": store.root,
-            "full_grid": FULL,
-            "rows": rows,
-        },
-    )
-    assert len(rows) == len(SWEEP_POLICIES) * len(RATE_SCALES)
+    result.journal(RESULTS_DIR, full_grid=FULL)
+    assert result.ok, result.errors
+    assert len(result.rows) == SPEC.num_points == len(SWEEP_POLICIES) * len(RATE_SCALES)
 
     # The shared session deduplicates (workload, policy, batch-bucket)
     # requests across the sweep: each DISTINCT bucketed shape per policy
     # resolves exactly once — a fresh compile on a cold store, a store hit
     # on a warm one — and every repeat across rate points lands as an
     # in-memory cache hit.
-    assert stats["compiles"] + stats["store_hits"] == distinct_shapes, (
-        stats, shapes_by_policy,
+    stats = result.session_stats
+    assert stats["compiles"] + stats["store_hits"] == result.distinct_shapes, (
+        stats, result.distinct_shapes,
     )
     assert stats["result_hits"] > 0, stats
 
     # Per policy, SLO attainment must not improve as offered load grows.
     for policy in SWEEP_POLICIES:
         series = sorted(
-            (row for row in rows if row["policy"] == policy),
+            (row for row in result.rows if row["policy"] == policy),
             key=lambda row: row["rate_scale"],
         )
         fractions = [row["goodput_fraction"] for row in series]

@@ -1,4 +1,10 @@
-"""Benchmark harness configuration: make sure results are visible."""
+"""Benchmark harness configuration: make sure results are visible.
+
+``_common`` holds only the benchmark-local bindings (scaled config, shared
+figure session, report paths); store resolution and the ``BENCH_*`` journal
+schema are :mod:`repro.sweep.journal`'s, so benchmarks and the sweep CLI
+write byte-compatible journals.
+"""
 
 import sys
 import os

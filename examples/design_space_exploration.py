@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
 """Design-space exploration of ICCA chips with Elk (§6.4).
 
-Uses the DSE explorer to sweep (1) HBM bandwidth, (2) interconnect bandwidth,
-and (3) the network topology for an LLM decoding workload, and prints which
-resource bounds each design point — reproducing the paper's §6.4 insights:
-HBM bandwidth helps decode until the interconnect becomes the bottleneck, and
-the two must scale together.
+Sweeps (1) HBM bandwidth, (2) interconnect bandwidth, and (3) the network
+topology for an LLM decoding workload, and prints which resource bounds
+each design point — reproducing the paper's §6.4 insights: HBM bandwidth
+helps decode until the interconnect becomes the bottleneck, and the two
+must scale together.
+
+The HBM-bandwidth sweep (insight 1) runs through the declarative
+:mod:`repro.sweep` harness — the same spec is checked in as
+``examples/sweeps/dse_hbm_bandwidth.json`` for the CLI
+(``python -m repro.sweep run examples/sweeps/dse_hbm_bandwidth.json``) —
+while insights 2 and 3 stay on the explorer directly, sharing one compile
+session across all three studies.
 
 Run with::
 
@@ -18,7 +25,22 @@ from repro.arch.interconnect import ALL_TO_ALL, MESH_2D
 from repro.compiler import WorkloadSpec
 from repro.dse import DesignPoint, DesignSpaceExplorer
 from repro.eval import ExperimentConfig
+from repro.sweep import SweepSpec, run_sweep
 from repro.units import TB
+
+HBM_SWEEP = SweepSpec(
+    name="dse_hbm_bandwidth",
+    adapter="dse",
+    description="Insight 1: diminishing returns as HBM bandwidth grows",
+    axes={"hbm_bandwidth_tbps": (4.0, 8.0, 16.0, 32.0)},
+    fixed={
+        "model": "llama2-13b",
+        "num_layers": 2,
+        "batch_size": 32,
+        "seq_len": 2048,
+        "max_order_candidates": 8,
+    },
+)
 
 
 def main() -> None:
@@ -27,15 +49,22 @@ def main() -> None:
     explorer = DesignSpaceExplorer(workload, config)
 
     print("== Insight 1: HBM bandwidth sweep (all-to-all NoC) ==")
-    hbm_points = [DesignPoint(hbm_bandwidth=bw) for bw in (4 * TB, 8 * TB, 16 * TB, 32 * TB)]
-    hbm_results = explorer.sweep(hbm_points)
-    for result in hbm_results:
+    # The declarative route: one spec, one run, rows out — through the same
+    # session the explorer below keeps using.
+    sweep = run_sweep(HBM_SWEEP, session=explorer.session)
+    for row in sweep.rows:
         print(
-            f"  HBM {result.point.hbm_bandwidth / 1e12:5.1f} TB/s -> "
-            f"latency {result.latency * 1e3:6.3f} ms, "
-            f"HBM util {result.hbm_utilization:.2f}, NoC util {result.noc_utilization:.2f}, "
-            f"bottleneck: {result.bottleneck}"
+            f"  HBM {row['hbm_bandwidth_tbps']:5.1f} TB/s -> "
+            f"latency {row['latency_ms']:6.3f} ms, "
+            f"HBM util {row['hbm_utilization']:.2f}, NoC util {row['noc_utilization']:.2f}, "
+            f"bottleneck: {row['bottleneck']}"
         )
+    hbm_results = [
+        explorer.evaluate_point(
+            DesignPoint(hbm_bandwidth=row["hbm_bandwidth_tbps"] * TB)
+        )
+        for row in sweep.rows
+    ]
     print(f"  diminishing returns observed: {DesignSpaceExplorer.diminishing_returns(hbm_results)}")
 
     print("\n== Insight 2: interconnect and HBM bandwidth must scale together ==")

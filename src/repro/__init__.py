@@ -166,6 +166,14 @@ from repro.serve import (
     simulate_serving,
 )
 from repro.sim import ChipSimulator, simulate_system
+from repro.sweep import (
+    SweepAdapter,
+    SweepResult,
+    SweepSpec,
+    available_adapters,
+    register_adapter,
+    run_sweep,
+)
 
 __version__ = "1.0.0"
 
@@ -253,5 +261,11 @@ __all__ = [
     "to_jsonl",
     "ChipSimulator",
     "simulate_system",
+    "SweepAdapter",
+    "SweepResult",
+    "SweepSpec",
+    "available_adapters",
+    "register_adapter",
+    "run_sweep",
     "__version__",
 ]

@@ -32,7 +32,13 @@ from repro.api.artifacts import (
     load_artifacts,
     save_artifacts,
 )
-from repro.api.service import BACKENDS, CompileRequest, Session, SessionStats
+from repro.api.service import (
+    BACKENDS,
+    CompileRequest,
+    Session,
+    SessionStats,
+    frozen_key,
+)
 from repro.api.store import (
     CACHE_DIR_ENV,
     ArtifactStore,
@@ -74,6 +80,7 @@ __all__ = [
     "CompileRequest",
     "Session",
     "SessionStats",
+    "frozen_key",
     "StepLatencyModel",
     "make_serving_session",
     "simulate_scenario",

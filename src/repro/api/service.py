@@ -99,6 +99,16 @@ def _freeze(obj: object) -> Hashable:
     )
 
 
+def frozen_key(obj: object) -> Hashable:
+    """Public alias of the session's structural cache-key builder.
+
+    The sweep harness and journal tooling hash configurations with the same
+    canonicalization the compile caches use, so "equal configs" means one
+    thing across the whole repo: equal frozen keys.
+    """
+    return _freeze(obj)
+
+
 #: Dispatch backends understood by :meth:`Session.compile_many`.
 BACKENDS = ("thread", "process")
 

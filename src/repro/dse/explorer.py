@@ -10,7 +10,7 @@ so the design-space benchmarks can assert them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.api import Session
 from repro.arch.chip import SystemConfig
@@ -58,6 +58,27 @@ class DesignPoint:
             system = system.with_matmul_tflops(self.matmul_tflops)
         return system
 
+    @classmethod
+    def from_config(cls, config: "Mapping[str, object]") -> "DesignPoint":
+        """Build a design point from flat JSON-friendly sweep keys.
+
+        Bandwidths arrive in TB/s (``hbm_bandwidth_tbps`` /
+        ``noc_bandwidth_tbps``) so spec files stay in human units; absent
+        keys keep the dataclass defaults.
+        """
+        kwargs: dict = {}
+        if "topology" in config:
+            kwargs["topology"] = str(config["topology"])
+        if "hbm_bandwidth_tbps" in config:
+            kwargs["hbm_bandwidth"] = float(config["hbm_bandwidth_tbps"]) * TB
+        if "noc_bandwidth_tbps" in config:
+            kwargs["noc_bandwidth"] = float(config["noc_bandwidth_tbps"]) * TB
+        if "cores_per_chip" in config:
+            kwargs["cores_per_chip"] = int(config["cores_per_chip"])
+        if "matmul_tflops" in config:
+            kwargs["matmul_tflops"] = float(config["matmul_tflops"])
+        return cls(**kwargs)
+
 
 @dataclass
 class DesignPointResult:
@@ -78,6 +99,21 @@ class DesignPointResult:
     noc_utilization: float
     achieved_tflops: float
     bottleneck: str
+
+    def row(self) -> dict[str, object]:
+        """Flat result-table row (the design axes plus the evaluation)."""
+        return {
+            "topology": self.point.topology,
+            "hbm_bandwidth_tbps": self.point.hbm_bandwidth / TB,
+            "noc_bandwidth_tbps": self.point.noc_bandwidth / TB,
+            "cores_per_chip": self.point.cores_per_chip,
+            "matmul_tflops": self.point.matmul_tflops,
+            "latency_ms": self.latency * 1e3,
+            "hbm_utilization": self.hbm_utilization,
+            "noc_utilization": self.noc_utilization,
+            "achieved_tflops": self.achieved_tflops,
+            "bottleneck": self.bottleneck,
+        }
 
 
 class DesignSpaceExplorer:

@@ -47,6 +47,21 @@ def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | 
     return "\n".join(lines)
 
 
+def union_columns(rows: Sequence[Mapping[str, object]]) -> list[str]:
+    """Column order covering every key of every row.
+
+    ``format_table`` defaults to the first row's keys, which drops columns
+    that only later rows carry (a sweep mixing result rows with typed error
+    rows, or cells that gain counters mid-grid).  This helper keeps
+    first-seen order across ALL rows instead.
+    """
+    columns: dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            columns.setdefault(key, None)
+    return list(columns)
+
+
 def save_results(
     rows: Sequence[Mapping[str, object]],
     path: str,

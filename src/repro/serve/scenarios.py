@@ -273,6 +273,7 @@ def simulate_scenario(
     session: Session | None = None,
     num_layers: int | None = 1,
     use_simulator: bool = True,
+    prewarm: bool = False,
     tracer: "Tracer | None" = None,
 ) -> ServingResult:
     """Run one registered scenario end to end and return its result.
@@ -290,6 +291,10 @@ def simulate_scenario(
         num_layers: Layer-count override for the compiled step workloads.
         use_simulator: Time step plans with the event-driven simulator
             (otherwise the analytic timeline).
+        prewarm: Compile the trace's full bucket grid up front through one
+            :meth:`Session.compile_many` fan-out (the session's backend)
+            before any request is served, instead of compiling buckets
+            lazily as traffic first touches them.
         tracer: Optional :class:`repro.obs.Tracer` observing the run across
             every layer: compile-stage and store spans (wired onto the
             session for the duration of the run), engine iteration spans,
@@ -313,6 +318,11 @@ def simulate_scenario(
     )
     trace = scenario.trace(num_requests=num_requests, seed=seed, rate_scale=rate_scale)
     try:
+        if prewarm:
+            groups = sorted(
+                {(spec.model.lower(), spec.kind) for spec in trace.requests}
+            )
+            latency_model.prewarm(groups)
         return ServingSimulator(latency_model, tracer=tracer).run(
             trace, slo=scenario.slo
         )

@@ -1,0 +1,5 @@
+"""``python -m repro.sweep`` — run, list, and report declarative sweeps."""
+
+from repro.sweep.cli import main
+
+raise SystemExit(main())

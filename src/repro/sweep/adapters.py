@@ -1,0 +1,573 @@
+"""Sweep adapters: how one expanded point becomes one result row.
+
+An adapter is the thin translation layer between a declarative point
+configuration (plain JSON values from a :class:`~repro.sweep.spec.SweepSpec`)
+and one of the repo's execution paths — the serving simulator, the cluster
+fleet, the chaos harness, cold compile timing, a raw compile grid, or the
+DSE explorer.  Adapters register by name, mirroring
+:mod:`repro.compiler.registry`, so new sweep families plug in without
+touching the runner:
+
+>>> @register_adapter("my-study")
+... class MyStudy(SweepAdapter):
+...     description = "one row per point"
+...     def run_point(self, config, ctx):
+...         return {"value": config["x"] * config["seed"]}
+
+Two hooks shape how the runner treats an adapter:
+
+* :meth:`SweepAdapter.prefetch` may return :class:`CompileRequest`\\ s for
+  the whole grid; the runner batches them through ONE
+  ``Session.compile_many`` fan-out (thread or process backend) before any
+  point runs, so every point then resolves its artifacts from the shared
+  caches.
+* :attr:`SweepAdapter.uses_store` opts the adapter out of the on-disk
+  artifact store when its numbers must come from freshly-compiled plans
+  (store-resolved artifacts carry no execution plan, so simulator-driven
+  studies would silently flip to analytic numbers on a warm cache).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Mapping, Sequence, TypeVar
+
+from repro.api.service import CompileRequest, Session
+from repro.api.store import ArtifactStore
+from repro.arch.chip import SystemConfig
+from repro.arch.presets import ipu_pod4, mesh_pod4, scaled_system, single_chip
+from repro.cluster import (
+    DisaggregationConfig,
+    RetryPolicy,
+    random_faults,
+    simulate_cluster_scenario,
+)
+from repro.errors import ConfigurationError, ElkError
+from repro.serve.scenarios import make_serving_session, simulate_scenario
+from repro.sweep.journal import config_digest
+
+
+@dataclass
+class RunContext:
+    """Shared state one sweep run threads through every adapter call.
+
+    Attributes:
+        session: The sweep-wide compile session (store-backed when the
+            adapter allows it); every point's compiles dedupe through it.
+        backend: ``compile_many`` backend of the run (thread/process).
+        compiled_shapes: Distinct compiled shapes observed across points —
+            serving/cluster adapters record ``(policy, *shape)`` tuples so
+            benches can assert "compiles + store hits == distinct shapes".
+        cold_sessions: Extra sessions created by adapters that must compile
+            cold (e.g. compile-time measurement); the runner folds their
+            stats into the result.
+        scratch: Free-form per-run adapter state (e.g. memoized explorers).
+    """
+
+    session: Session
+    backend: str
+    compiled_shapes: set = field(default_factory=set)
+    cold_sessions: list[Session] = field(default_factory=list)
+    scratch: dict = field(default_factory=dict)
+
+    @property
+    def store(self) -> ArtifactStore | None:
+        """The run's artifact store (``None`` when the adapter opts out)."""
+        return self.session.store
+
+
+class SweepAdapter(abc.ABC):
+    """One registered execution path for sweep points.
+
+    Subclasses are instantiated fresh per run, so they may keep state on
+    ``self`` (prefer :attr:`RunContext.scratch` for anything the tests or
+    benches need to see).
+    """
+
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+    #: Whether the shared session should consult the on-disk artifact store.
+    uses_store: ClassVar[bool] = True
+
+    def build_session(self, store: ArtifactStore | None, backend: str) -> Session:
+        """The sweep-wide session (default: serving-tuned search bounds)."""
+        return make_serving_session(store=store, backend=backend)
+
+    def prefetch(
+        self, configs: Sequence[Mapping[str, object]], ctx: RunContext
+    ) -> Sequence[CompileRequest]:
+        """Compile requests to batch through ``compile_many`` before points run.
+
+        A config whose request cannot even be built is skipped here — its
+        error surfaces as that point's typed error row when
+        :meth:`run_point` hits the same problem.
+        """
+        return ()
+
+    @abc.abstractmethod
+    def run_point(self, config: dict, ctx: RunContext) -> dict:
+        """Execute one point; return its flat result row."""
+
+
+_AdapterT = TypeVar("_AdapterT", bound=type)
+
+_REGISTRY: dict[str, type[SweepAdapter]] = {}
+
+
+def register_adapter(
+    name: str, *, replace: bool = False
+) -> Callable[[_AdapterT], _AdapterT]:
+    """Class decorator registering a :class:`SweepAdapter` under ``name``."""
+    key = name.lower()
+
+    def decorator(cls: _AdapterT) -> _AdapterT:
+        if not (isinstance(cls, type) and issubclass(cls, SweepAdapter)):
+            raise ConfigurationError(
+                f"@register_adapter({name!r}) expects a SweepAdapter subclass, "
+                f"got {cls!r}"
+            )
+        if not replace and key in _REGISTRY:
+            raise ConfigurationError(
+                f"sweep adapter {key!r} is already registered by "
+                f"{_REGISTRY[key].__qualname__}; pass replace=True to override"
+            )
+        cls.name = key
+        _REGISTRY[key] = cls
+        return cls
+
+    return decorator
+
+
+def unregister_adapter(name: str) -> None:
+    """Remove a registered adapter (primarily for test cleanup)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(f"sweep adapter {key!r} is not registered")
+    del _REGISTRY[key]
+
+
+def get_adapter(name: str) -> SweepAdapter:
+    """Instantiate the adapter registered under ``name``."""
+    key = name.lower()
+    try:
+        cls = _REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown sweep adapter {name!r}; expected one of {available_adapters()}"
+        ) from None
+    return cls()
+
+
+def available_adapters() -> tuple[str, ...]:
+    """Names of every registered adapter, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def adapter_descriptions() -> dict[str, str]:
+    """``{name: description}`` of every registered adapter."""
+    return {name: cls.description for name, cls in _REGISTRY.items()}
+
+
+# --------------------------------------------------------------------------- #
+# Shared config plumbing.
+# --------------------------------------------------------------------------- #
+_SYSTEM_PRESETS: dict[str, Callable[[], SystemConfig]] = {
+    "ipu-pod4": ipu_pod4,
+    "mesh-pod4": mesh_pod4,
+    "single-chip": single_chip,
+    "scaled": lambda: scaled_system(num_cores=32, num_chips=1),
+}
+
+
+def resolve_system(name: str | None) -> SystemConfig | None:
+    """Materialize a named system preset (``None`` keeps the path's default)."""
+    if name is None:
+        return None
+    try:
+        return _SYSTEM_PRESETS[name.lower()]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown system preset {name!r}; expected one of "
+            f"{tuple(_SYSTEM_PRESETS)}"
+        ) from None
+
+
+def _experiment_config(config: Mapping[str, object]):
+    """An :class:`~repro.eval.experiments.ExperimentConfig` from point keys."""
+    from repro.eval.experiments import ExperimentConfig
+
+    kwargs = {}
+    for key in (
+        "num_layers",
+        "batch_size",
+        "seq_len",
+        "use_simulator",
+        "max_preload_ahead",
+        "max_order_candidates",
+    ):
+        if key in config:
+            kwargs[key] = config[key]
+    return ExperimentConfig(**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# probe: deterministic arithmetic, for harness tests and CLI smoke runs.
+# --------------------------------------------------------------------------- #
+@register_adapter("probe")
+class ProbeAdapter(SweepAdapter):
+    """Deterministic no-compile adapter exercising the harness itself."""
+
+    description = "pure-arithmetic rows (x*y + seed); harness/CI self-test"
+    uses_store = False
+
+    def build_session(self, store, backend):
+        return Session(store=store, backend=backend)
+
+    def run_point(self, config, ctx):
+        x = config.get("x", 1)
+        y = config.get("y", 1)
+        if not isinstance(x, (int, float)) or not isinstance(y, (int, float)):
+            raise ConfigurationError(f"probe needs numeric x/y, got {x!r}, {y!r}")
+        return {
+            "value": x * y + config["seed"],
+            "config_digest": config_digest(config),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# compile-grid: raw (workload, system, policy) grid through compile_many.
+# --------------------------------------------------------------------------- #
+@register_adapter("compile-grid")
+class CompileGridAdapter(SweepAdapter):
+    """Compile each point's workload and report its analytic metrics.
+
+    The whole grid is prefetched through one ``compile_many`` fan-out (the
+    run's thread or process backend), so points only read cached artifacts.
+    Rows carry the analytic metrics recorded on the artifact — never wall
+    times — which keeps same-seed rows bit-identical across backends and
+    across cold/warm stores.
+    """
+
+    description = "workload x system x policy compile grid, analytic metrics"
+
+    def build_session(self, store, backend):
+        return Session(store=store, backend=backend)
+
+    def _request(self, config: Mapping[str, object]) -> CompileRequest:
+        from repro.compiler.frontend import WorkloadSpec
+        from repro.eval.experiments import make_request
+
+        exp = _experiment_config(config)
+        workload = WorkloadSpec(
+            str(config.get("model", "tiny-llm")),
+            batch_size=int(config.get("batch_size", exp.batch_size)),
+            seq_len=int(config.get("seq_len", exp.seq_len)),
+            num_layers=exp.num_layers,
+        )
+        system = resolve_system(str(config.get("system", "scaled")))
+        assert system is not None
+        return make_request(workload, system, str(config.get("policy", "elk-full")), exp)
+
+    def prefetch(self, configs, ctx):
+        requests = []
+        for config in configs:
+            try:
+                requests.append(self._request(config))
+            except Exception:
+                continue  # the point's own run records the typed error row
+        return requests
+
+    def run_point(self, config, ctx):
+        from repro.eval.experiments import evaluate_artifact
+
+        exp = _experiment_config({**config, "use_simulator": config.get("use_simulator", False)})
+        artifact = ctx.session.compile(self._request(config))
+        row = evaluate_artifact(artifact, exp)
+        row.pop("compile_seconds", None)  # wall time would break bit-identity
+        return row
+
+
+# --------------------------------------------------------------------------- #
+# serving: one registered ServingScenario per point.
+# --------------------------------------------------------------------------- #
+@register_adapter("serving")
+class ServingAdapter(SweepAdapter):
+    """Run one serving scenario per point through the shared session.
+
+    Config keys: ``scenario`` (required), ``policy``, ``num_requests``,
+    ``rate_scale``, ``num_layers``, ``use_simulator`` (default False so a
+    warm store stays bit-identical to the cold run), ``system`` (preset
+    name), ``prewarm`` (route the bucket grid through ``compile_many``
+    before serving).
+    """
+
+    description = "rate/policy serving studies via simulate_scenario"
+
+    def run_point(self, config, ctx):
+        scenario = config.get("scenario")
+        if not isinstance(scenario, str):
+            raise ConfigurationError(f"serving points need a scenario name, got {scenario!r}")
+        policy = str(config.get("policy", "elk-full"))
+        result = simulate_scenario(
+            scenario,
+            system=resolve_system(config.get("system")),
+            policy=policy,
+            num_requests=int(config.get("num_requests", 64)),
+            seed=config["seed"],
+            rate_scale=float(config.get("rate_scale", 1.0)),
+            session=ctx.session,
+            num_layers=config.get("num_layers", 1),
+            use_simulator=bool(config.get("use_simulator", False)),
+            prewarm=bool(config.get("prewarm", False)),
+        )
+        ctx.compiled_shapes.update(
+            (policy, *shape) for shape in result.compiled_shapes
+        )
+        row = {
+            "scenario": scenario,
+            "policy": policy,
+            "rate_scale": float(config.get("rate_scale", 1.0)),
+            "iterations": result.num_iterations,
+        }
+        row.update(result.metrics().summary())
+        return row
+
+
+# --------------------------------------------------------------------------- #
+# cluster: fleet-scale scenarios (routers, fleet sizes, disaggregation).
+# --------------------------------------------------------------------------- #
+@register_adapter("cluster")
+class ClusterAdapter(SweepAdapter):
+    """Run one cluster scenario per point through the shared session.
+
+    Config keys: ``scenario`` (required), ``policy``, ``num_requests``,
+    ``rate_scale``, ``router``, ``num_engines``, ``disaggregation`` (a
+    ``{"prefill_engines": N, "decode_engines": M}`` mapping, or explicit
+    ``null`` to force the colocated baseline; absent keeps the scenario's
+    default), ``variant`` (label suffix for comparison rows), ``prewarm``,
+    ``use_simulator``, ``num_layers``, ``system``.
+    """
+
+    description = "fleet sweeps (router x engines x disaggregation) via simulate_cluster_scenario"
+
+    def run_point(self, config, ctx):
+        scenario = config.get("scenario")
+        if not isinstance(scenario, str):
+            raise ConfigurationError(f"cluster points need a scenario name, got {scenario!r}")
+        policy = str(config.get("policy", "elk-full"))
+        kwargs: dict = {}
+        if "router" in config and config["router"] is not None:
+            kwargs["router"] = config["router"]
+        if "num_engines" in config and config["num_engines"] is not None:
+            kwargs["num_engines"] = int(config["num_engines"])
+        if "disaggregation" in config:
+            pools = config["disaggregation"]
+            kwargs["disaggregation"] = (
+                None if pools is None else DisaggregationConfig(**dict(pools))
+            )
+        kwargs.update(self._fault_kwargs(config))
+        result = simulate_cluster_scenario(
+            scenario,
+            system=resolve_system(config.get("system")),
+            policy=policy,
+            num_requests=int(config.get("num_requests", 64)),
+            seed=config["seed"],
+            rate_scale=float(config.get("rate_scale", 1.0)),
+            session=ctx.session,
+            num_layers=config.get("num_layers", 1),
+            use_simulator=bool(config.get("use_simulator", False)),
+            prewarm=bool(config.get("prewarm", False)),
+            **kwargs,
+        )
+        ctx.compiled_shapes.update(
+            (policy, *shape) for shape in result.compiled_shapes
+        )
+        variant = config.get("variant")
+        label = f"{scenario}:{variant}" if isinstance(variant, str) else scenario
+        row = {
+            "scenario": label,
+            "policy": policy,
+            "router": result.router,
+            "num_engines": len(result.engines),
+            "iterations": result.num_iterations,
+        }
+        row.update(result.metrics().summary())
+        row.update(result.counters())
+        return self._finish_row(row, result, config)
+
+    def _fault_kwargs(self, config: Mapping[str, object]) -> dict:
+        return {}
+
+    def _finish_row(self, row: dict, result, config) -> dict:
+        return row
+
+
+# --------------------------------------------------------------------------- #
+# chaos: cluster scenarios under seeded random fault schedules.
+# --------------------------------------------------------------------------- #
+@register_adapter("chaos")
+class ChaosAdapter(ClusterAdapter):
+    """Cluster points with a seeded fault schedule and retry policy per cell.
+
+    Extra config keys over the cluster adapter: ``crash_rate`` (faults/s of
+    the random schedule), ``fault_window`` (seconds the schedule spans),
+    ``slowdown_fraction`` (slowdown rate as a fraction of the crash rate),
+    ``retry_policy`` (a mapping of :class:`~repro.cluster.RetryPolicy`
+    fields, plus an optional ``label`` used for the row).  Request
+    accounting must balance in every cell; an unbalanced cell raises — and
+    therefore records a typed error row — instead of journaling bad rows.
+    """
+
+    description = "crash-rate x retry-policy chaos sweeps with seeded fault schedules"
+
+    def _fault_kwargs(self, config):
+        kwargs: dict = {}
+        self._schedule = None
+        if "crash_rate" in config:
+            crash_rate = float(config["crash_rate"])
+            window = float(config.get("fault_window", 0.25))
+            slowdown_fraction = float(config.get("slowdown_fraction", 0.25))
+            self._schedule = random_faults(
+                window,
+                crash_rate=crash_rate,
+                slowdown_rate=crash_rate * slowdown_fraction,
+                seed=config["seed"],
+                name=f"chaos@{crash_rate:g}",
+            )
+            kwargs["faults"] = self._schedule
+        retry = config.get("retry_policy")
+        if retry is not None:
+            if not isinstance(retry, Mapping):
+                raise ConfigurationError(
+                    f"retry_policy must be a mapping of RetryPolicy fields, got {retry!r}"
+                )
+            fields = {k: v for k, v in retry.items() if k != "label"}
+            kwargs["retry_policy"] = RetryPolicy(**fields)
+        return kwargs
+
+    def _finish_row(self, row, result, config):
+        if not result.accounting_balanced:
+            raise ElkError(
+                f"request accounting unbalanced in chaos cell: {result.accounting()}"
+            )
+        if "crash_rate" in config:
+            row["crash_rate"] = float(config["crash_rate"])
+        row["scheduled_faults"] = len(self._schedule) if self._schedule is not None else 0
+        row.update(result.availability.summary())
+        return row
+
+
+# --------------------------------------------------------------------------- #
+# compile-time: cold compile measurement (fig16), store-backed across runs.
+# --------------------------------------------------------------------------- #
+@register_adapter("compile-time")
+class CompileTimeAdapter(SweepAdapter):
+    """Measure COLD compile time per point (the fig16 study).
+
+    Deliberately bypasses the sweep-wide shared session: compile time must
+    cover the full frontend + profile + scheduling work, so each point gets
+    a fresh session — all of them backed by the run's shared store, which is
+    what lets a warm run resolve every workload from disk (reporting the
+    *recorded* cold ``compile_seconds``) with zero fresh compiles.
+    """
+
+    description = "cold compile-time grid (model x batch), store-backed warm runs"
+
+    def build_session(self, store, backend):
+        return Session(store=store, backend=backend)
+
+    def run_point(self, config, ctx):
+        from repro.eval.experiments import compile_time_report, make_session
+
+        exp = _experiment_config(config)
+
+        def cold_session() -> Session:
+            session = make_session(exp, store=ctx.store)
+            ctx.cold_sessions.append(session)
+            return session
+
+        rows = compile_time_report(
+            models=[str(config["model"])],
+            batch_sizes=[int(config["batch_size"])],
+            config=exp,
+            session_factory=cold_session,
+        )
+        return rows[0]
+
+
+# --------------------------------------------------------------------------- #
+# dse: design-space exploration points through the shared session.
+# --------------------------------------------------------------------------- #
+@register_adapter("dse")
+class DseAdapter(SweepAdapter):
+    """Evaluate one :class:`~repro.dse.DesignPoint` per sweep point.
+
+    Config keys: the design-point axes (``topology``,
+    ``hbm_bandwidth_tbps``, ``noc_bandwidth_tbps``, ``cores_per_chip``,
+    ``matmul_tflops``) plus the workload (``model``, ``batch_size``,
+    ``seq_len``, ``num_layers``, ``max_order_candidates``) and ``policy``.
+    Stays off the on-disk store: design points are judged with the
+    event-driven simulator, and store-resolved artifacts carry no plan to
+    simulate.
+    """
+
+    description = "architecture design-space points via the DSE explorer"
+    uses_store = False
+
+    def build_session(self, store, backend):
+        return Session(store=store, backend=backend)
+
+    def prefetch(self, configs, ctx):
+        from repro.dse.explorer import DesignPoint
+        from repro.eval.experiments import make_request
+
+        requests = []
+        for config in configs:
+            try:
+                point = DesignPoint.from_config(config)
+                explorer = self._explorer(config, ctx)
+                requests.append(
+                    make_request(
+                        explorer.workload,
+                        point.build_system(),
+                        explorer.policy,
+                        explorer.config,
+                    )
+                )
+            except Exception:
+                continue
+        return requests
+
+    def _explorer(self, config: Mapping[str, object], ctx: RunContext):
+        from repro.compiler.frontend import WorkloadSpec
+        from repro.dse.explorer import DesignSpaceExplorer
+
+        exp = _experiment_config(config)
+        workload = WorkloadSpec(
+            str(config.get("model", "llama2-13b")),
+            batch_size=exp.batch_size,
+            seq_len=exp.seq_len,
+            num_layers=exp.num_layers,
+        )
+        key = (
+            "dse-explorer",
+            str(config.get("model", "llama2-13b")),
+            str(config.get("policy", "elk-full")),
+            config_digest(exp),
+        )
+        if key not in ctx.scratch:
+            ctx.scratch[key] = DesignSpaceExplorer(
+                workload,
+                exp,
+                policy=str(config.get("policy", "elk-full")),
+                session=ctx.session,
+            )
+        return ctx.scratch[key]
+
+    def run_point(self, config, ctx):
+        from repro.dse.explorer import DesignPoint
+
+        explorer = self._explorer(config, ctx)
+        result = explorer.evaluate_point(DesignPoint.from_config(config))
+        return result.row()
